@@ -1,0 +1,58 @@
+// Shared helpers for the per-figure bench binaries.
+//
+// Every bench accepts `--fast` (shorter warmup/measure for smoke runs) and
+// writes its series as CSV under bench/out/ next to printing a table with
+// the paper's reference values for side-by-side comparison.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "base/csv.h"
+#include "base/strings.h"
+#include "base/table.h"
+#include "harness/experiments.h"
+#include "harness/parallel.h"
+
+namespace es2::bench {
+
+struct BenchArgs {
+  bool fast = false;
+  std::uint64_t seed = 1;
+  std::string out_dir = "bench/out";
+};
+
+inline BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fast") == 0) args.fast = true;
+    if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      args.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    }
+    if (std::strncmp(argv[i], "--out=", 6) == 0) args.out_dir = argv[i] + 6;
+  }
+  return args;
+}
+
+inline void print_header(const char* id, const char* title) {
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("ES2 reproduction (simulated testbed; compare shapes, not\n");
+  std::printf("absolute numbers — see EXPERIMENTS.md)\n");
+  std::printf("================================================================\n");
+}
+
+inline std::string count_str(double v) {
+  return with_commas(static_cast<std::int64_t>(v));
+}
+
+inline void write_csv(const BenchArgs& args, const std::string& name,
+                      const CsvWriter& csv) {
+  const std::string path = args.out_dir + "/" + name + ".csv";
+  if (csv.write_file(path)) {
+    std::printf("[series written to %s]\n", path.c_str());
+  }
+}
+
+}  // namespace es2::bench

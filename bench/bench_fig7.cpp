@@ -1,0 +1,55 @@
+// Fig. 7 — Ping RTT to the tested VM in the oversubscribed macro testbed.
+//
+// Paper shape: Baseline RTT varies widely with peaks up to 18ms; PI
+// slightly lower; full ES2 (redirection) keeps RTT under 0.5ms. PI+H is
+// not shown in the paper (polling has no effect on low-rate ping).
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace es2;
+using namespace es2::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_args(argc, argv);
+  print_header("Fig. 7", "Ping RTT under core oversubscription");
+
+  // Paper uses 1s intervals over ~30 samples; we tighten the interval to
+  // keep wall time low — RTT is unaffected as it is far below either
+  // interval.
+  const int samples = args.fast ? 40 : 120;
+  const SimDuration interval = args.fast ? msec(80) : msec(250);
+
+  const Es2Config configs[3] = {Es2Config::baseline(), Es2Config::pi(),
+                                Es2Config::pi_h_r()};
+  const char* names[3] = {"Baseline", "PI", "PI+H+R (ES2)"};
+  PingResult results[3];
+  parallel_for(3, [&](int i) {
+    PingOptions o;
+    o.config = configs[i];
+    o.samples = samples;
+    o.interval = interval;
+    o.seed = args.seed;
+    results[i] = run_ping(o);
+  });
+
+  Table t({"Config", "p50", "p90", "p99", "max", "mean"});
+  CsvWriter csv({"config", "sample_index", "rtt_ms"});
+  for (int i = 0; i < 3; ++i) {
+    const Histogram& h = results[i].rtt;
+    t.add_row({names[i], fixed(h.p50() / 1e6, 2) + "ms",
+               fixed(h.p90() / 1e6, 2) + "ms", fixed(h.p99() / 1e6, 2) + "ms",
+               fixed(h.max() / 1e6, 2) + "ms", fixed(h.mean() / 1e6, 2) + "ms"});
+    int idx = 0;
+    for (const SimDuration rtt : results[i].samples) {
+      csv.add_row({names[i], std::to_string(idx++), fixed(rtt / 1e6, 3)});
+    }
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf(
+      "Paper: baseline varies up to 18ms peaks; ES2 keeps RTT < 0.5ms.\n"
+      "Ours: baseline rides the vCPU scheduling delay (ms-scale), ES2's\n"
+      "median is wire-level; residual tail = offline-prediction waits.\n");
+  write_csv(args, "fig7", csv);
+  return 0;
+}

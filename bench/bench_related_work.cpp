@@ -1,0 +1,194 @@
+// Related-work comparison bench (paper §II-C): quantifies the arguments
+// the paper makes against the prior software approaches, head to head
+// with ES2.
+//
+//   1. Interrupt coalescing (Dong et al. / vIC): fewer exits, but every
+//      held completion adds latency.
+//   2. Guest poll-mode driver (sEBP / DPDK-style): no interrupts at all,
+//      but the poll loop wastes guest CPU at low load and needs guest
+//      modification.
+//   3. ELI/DID deprivileging: exit-free like PI on a dedicated core, but
+//      under core multiplexing deliveries stall in the physical APIC and
+//      hazard the core's other tenants — the reason the paper builds on
+//      PI instead.
+#include <memory>
+
+#include "apps/netperf.h"
+#include "apps/ping.h"
+#include "baselines/coalescer.h"
+#include "baselines/poll_driver.h"
+#include "apps/burn.h"
+#include "bench_common.h"
+
+using namespace es2;
+using namespace es2::bench;
+
+namespace {
+
+struct LatencyLoad {
+  double irqs_per_sec = 0;
+  double tig = 0;
+  double rtt_p50_ms = 0;
+  double rtt_p99_ms = 0;
+};
+
+/// Micro testbed: UDP ingress at a moderate rate + ping, with optional
+/// coalescing or poll-mode driver.
+LatencyLoad run_latency_case(bool coalesce, bool poll_driver,
+                             std::uint64_t seed, SimDuration measure) {
+  TestbedOptions o;
+  o.config = Es2Config::baseline();
+  o.seed = seed;
+  Testbed tb(o);
+  std::unique_ptr<InterruptCoalescer> coalescer;
+  if (coalesce) coalescer = std::make_unique<InterruptCoalescer>(tb.backend());
+  std::unique_ptr<PollModeDriverTask> pmd;
+  if (poll_driver) {
+    pmd = std::make_unique<PollModeDriverTask>(tb.guest(), tb.frontend(), 0);
+    tb.guest().add_task(*pmd);
+  }
+
+  NetperfReceiver rx(tb.guest(), tb.frontend(), 200, Proto::kUdp);
+  PeerStreamSender::Params sp;
+  sp.proto = Proto::kUdp;
+  sp.msg_size = 1024;
+  sp.udp_rate_pps = 40000;  // moderate load: latency is visible
+  sp.udp_burst = 4;
+  PeerStreamSender tx(tb.peer(), 200, sp);
+  PingResponder responder(tb.guest(), tb.frontend(), 7);
+  PingClient ping(tb.peer(), 7, msec(3));
+
+  tb.start();
+  tx.start();
+  ping.start();
+  tb.sim().run_for(msec(100));
+  tb.tested_vm().begin_stats_window();
+  const auto irqs_base = tb.tested_vm().vcpu(0).irqs_taken();
+  tb.sim().run_for(measure);
+
+  LatencyLoad r;
+  r.irqs_per_sec =
+      static_cast<double>(tb.tested_vm().vcpu(0).irqs_taken() - irqs_base) /
+      to_seconds(measure);
+  r.tig = tb.tested_vm().aggregate_stats().tig_percent();
+  r.rtt_p50_ms = static_cast<double>(ping.rtt().p50()) / 1e6;
+  r.rtt_p99_ms = static_cast<double>(ping.rtt().p99()) / 1e6;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_args(argc, argv);
+  print_header("Related work", "§II-C prior approaches vs ES2's basis");
+  const SimDuration measure = args.fast ? msec(300) : sec(1);
+
+  // --- 1 + 2: coalescing and poll-mode driver vs stock NAPI --------------
+  LatencyLoad stock, coalesced, polled;
+  {
+    std::vector<std::function<void()>> tasks;
+    tasks.push_back([&] { stock = run_latency_case(false, false, args.seed, measure); });
+    tasks.push_back([&] { coalesced = run_latency_case(true, false, args.seed, measure); });
+    tasks.push_back([&] { polled = run_latency_case(false, true, args.seed, measure); });
+    ParallelRunner().run(std::move(tasks));
+  }
+  std::printf("\n-- Interrupt moderation/substitution, Baseline stack,\n"
+              "   40k pps UDP ingress + ping (micro testbed)\n");
+  Table t1({"Approach", "guest irqs/s", "ping p50", "ping p99", "note"});
+  t1.add_row({"stock NAPI", count_str(stock.irqs_per_sec),
+              fixed(stock.rtt_p50_ms, 3) + "ms", fixed(stock.rtt_p99_ms, 3) + "ms",
+              "reference"});
+  t1.add_row({"+ coalescing (8/100us)", count_str(coalesced.irqs_per_sec),
+              fixed(coalesced.rtt_p50_ms, 3) + "ms",
+              fixed(coalesced.rtt_p99_ms, 3) + "ms",
+              "fewer exits, latency tax"});
+  t1.add_row({"poll-mode driver", count_str(polled.irqs_per_sec),
+              fixed(polled.rtt_p50_ms, 3) + "ms",
+              fixed(polled.rtt_p99_ms, 3) + "ms",
+              "no irqs; burns vCPU; guest mod"});
+  std::printf("%s", t1.render().c_str());
+
+  // --- 3: ELI vs PI, dedicated core then multiplexed ----------------------
+  std::printf("\n-- ELI/DID-style deprivileging vs PI (ping RTT)\n");
+  struct EliCase {
+    const char* label;
+    InterruptVirtMode mode;
+    bool macro_world;
+    double p50 = 0, p99 = 0;
+    std::int64_t stalls = 0, hazards = 0;
+  };
+  std::vector<EliCase> cases = {
+      {"PI, dedicated core", InterruptVirtMode::kPostedInterrupt, false},
+      {"ELI, dedicated core", InterruptVirtMode::kExitlessDirect, false},
+      {"PI,  4x multiplexed", InterruptVirtMode::kPostedInterrupt, true},
+      {"ELI, 4x multiplexed", InterruptVirtMode::kExitlessDirect, true},
+  };
+  std::vector<std::function<void()>> tasks;
+  for (auto& c : cases) {
+    tasks.push_back([&c, &args] {
+      // ELI is not an Es2Config member (it is a related-work baseline), so
+      // the world is built through the low-level API, setting the tested
+      // VM's InterruptVirtMode directly.
+      Simulator sim(args.seed);
+      KvmHost host(sim, 8);
+      std::vector<std::unique_ptr<GuestOs>> guests;
+      std::vector<std::unique_ptr<CpuBurnTask>> burns;
+      const int vms = c.macro_world ? 4 : 1;
+      const int vcpus = c.macro_world ? 4 : 1;
+      for (int v = 0; v < vms; ++v) {
+        std::vector<int> pins;
+        for (int j = 0; j < vcpus; ++j)
+          pins.push_back(c.macro_world ? j : v * vcpus + j);
+        Vm& vm = host.create_vm(format("vm%d", v), pins,
+                                v == 0 ? c.mode
+                                       : InterruptVirtMode::kPostedInterrupt);
+        guests.push_back(std::make_unique<GuestOs>(vm));
+        for (int j = 0; j < vcpus; ++j) {
+          burns.push_back(std::make_unique<CpuBurnTask>(*guests.back(), j));
+          guests.back()->add_task(*burns.back());
+        }
+      }
+      DuplexLink cable(sim, 40.0, 1500);
+      PeerHost peer(sim, cable.b_to_a);
+      peer.attach_rx(cable.a_to_b);
+      VhostWorker worker(host, "vhost", c.macro_world ? 4 : 4);
+      VhostNetBackend backend(host.vm(0), worker, cable.a_to_b);
+      cable.b_to_a.set_receiver(
+          [&backend](PacketPtr p) { backend.receive_from_wire(std::move(p)); });
+      VirtioNetFrontend frontend(*guests[0], backend);
+      PingResponder responder(*guests[0], frontend, 7);
+      PingClient ping(peer, 7, msec(40));
+      for (int v = 0; v < vms; ++v) host.vm(v).start();
+      ping.start();
+      sim.run_for(msec(40) * (args.fast ? 50 : 130));
+      c.p50 = static_cast<double>(ping.rtt().p50()) / 1e6;
+      c.p99 = static_cast<double>(ping.rtt().p99()) / 1e6;
+      for (int j = 0; j < vcpus; ++j) {
+        c.stalls += host.vm(0).vcpu(j).eli_stalls();
+        c.hazards += host.vm(0).vcpu(j).eli_hazards();
+      }
+    });
+  }
+  ParallelRunner().run(std::move(tasks));
+
+  Table t2({"Deployment", "ping p50", "ping p99", "stalled irqs", "hazards"});
+  CsvWriter csv({"section", "variant", "metric", "value"});
+  for (const auto& c : cases) {
+    t2.add_row({c.label, fixed(c.p50, 3) + "ms", fixed(c.p99, 3) + "ms",
+                std::to_string(c.stalls), std::to_string(c.hazards)});
+    csv.add_row({"eli_vs_pi", c.label, "p99_ms", fixed(c.p99, 3)});
+  }
+  std::printf("%s", t2.render().c_str());
+  std::printf(
+      "\nOn a dedicated core ELI matches PI (both exit-free) — the paper's\n"
+      "observation that PI replaces it without the downsides. Multiplexed,\n"
+      "ELI's deliveries stall in the physical APIC while other VMs hold\n"
+      "the core (hazards > 0): the multiplexing/security argument of §II-C.\n");
+
+  csv.add_row({"moderation", "stock", "irqs_per_sec", fixed(stock.irqs_per_sec, 0)});
+  csv.add_row({"moderation", "coalesced", "irqs_per_sec", fixed(coalesced.irqs_per_sec, 0)});
+  csv.add_row({"moderation", "coalesced", "p99_ms", fixed(coalesced.rtt_p99_ms, 3)});
+  csv.add_row({"moderation", "poll_driver", "p99_ms", fixed(polled.rtt_p99_ms, 3)});
+  write_csv(args, "related_work", csv);
+  return 0;
+}

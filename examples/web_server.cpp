@@ -1,0 +1,72 @@
+// Example: an Apache-style web server VM under two kinds of load — steady
+// ApacheBench traffic and an httperf connection-rate ramp (the paper's
+// Fig. 8b + Fig. 9 scenarios in one program).
+//
+//   $ ./web_server [--fast]
+#include <cstdio>
+#include <cstring>
+
+#include "apps/httpd.h"
+#include "base/strings.h"
+#include "base/table.h"
+#include "harness/testbed.h"
+
+using namespace es2;
+
+int main(int argc, char** argv) {
+  const bool fast = argc > 1 && std::strcmp(argv[1], "--fast") == 0;
+
+  std::printf("Part 1: ApacheBench throughput, Baseline vs full ES2\n");
+  Table t({"Config", "req/s", "Mb/s"});
+  for (const Es2Config cfg : {Es2Config::baseline(), Es2Config::pi_h_r()}) {
+    TestbedOptions options;
+    options.config = cfg;
+    options.num_vms = 4;
+    options.vcpus_per_vm = 4;
+    options.stack_vms = true;
+    Testbed testbed(options);
+    ApacheServer server(testbed.guest(), testbed.frontend(), 2000,
+                        /*client_conns=*/16, /*workers=*/8);
+    AbClient ab(testbed.peer(), 2000, 16);
+    testbed.start();
+    ab.start();
+    testbed.sim().run_for(fast ? msec(200) : msec(400));
+    ab.begin_window(testbed.sim().now());
+    testbed.sim().run_for(fast ? msec(400) : sec(1));
+    t.add_row({cfg.name(),
+               with_commas(static_cast<std::int64_t>(
+                   ab.requests_per_sec(testbed.sim().now()))),
+               fixed(ab.response_mbps(testbed.sim().now()), 0)});
+  }
+  std::printf("%s", t.render().c_str());
+
+  std::printf("\nPart 2: httperf connection-rate ramp (connect time)\n");
+  Table t2({"rate", "Baseline avg", "ES2 avg"});
+  for (const double rate : {1200.0, 1900.0, 2400.0}) {
+    double avg[2];
+    int i = 0;
+    for (const Es2Config cfg : {Es2Config::baseline(), Es2Config::pi_h_r()}) {
+      TestbedOptions options;
+      options.config = cfg;
+      options.num_vms = 4;
+      options.vcpus_per_vm = 4;
+      options.stack_vms = true;
+      Testbed testbed(options);
+      ApacheServer server(testbed.guest(), testbed.frontend(), 3000, 1, 4);
+      HttperfClient httperf(testbed.peer(), server.listen_flow(), rate);
+      testbed.start();
+      httperf.start();
+      testbed.sim().run_for(fast ? sec(1) : sec(2));
+      httperf.stop();
+      testbed.sim().run_for(msec(500));
+      avg[i++] = httperf.connect_time().mean() / 1e6;
+    }
+    t2.add_row({fixed(rate, 0) + "/s", fixed(avg[0], 2) + "ms",
+                fixed(avg[1], 2) + "ms"});
+  }
+  std::printf("%s", t2.render().c_str());
+  std::printf("\nPast the baseline's knee the SYN backlog overflows and 1s\n"
+              "SYN retransmissions blow up the mean connect time; ES2's\n"
+              "extra event-path headroom moves the knee to higher rates.\n");
+  return 0;
+}

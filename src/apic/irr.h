@@ -1,0 +1,63 @@
+// 256-bit interrupt request/in-service register bitmap.
+#pragma once
+
+#include <cstdint>
+#include <bit>
+
+#include "base/assert.h"
+
+namespace es2 {
+
+/// Fixed 256-bit bitmap with highest-set-bit query, modeling the IRR/ISR
+/// registers of a Local-APIC (one bit per vector, higher vector = higher
+/// priority).
+class IrqBitmap {
+ public:
+  void set(std::uint8_t vector) {
+    words_[vector >> 6] |= 1ULL << (vector & 63);
+  }
+
+  void clear(std::uint8_t vector) {
+    words_[vector >> 6] &= ~(1ULL << (vector & 63));
+  }
+
+  bool test(std::uint8_t vector) const {
+    return (words_[vector >> 6] >> (vector & 63)) & 1;
+  }
+
+  bool any() const {
+    return (words_[0] | words_[1] | words_[2] | words_[3]) != 0;
+  }
+
+  /// Highest set vector, or -1 when empty.
+  int highest() const {
+    for (int w = 3; w >= 0; --w) {
+      if (words_[w] != 0) {
+        const int bit = 63 - std::countl_zero(words_[w]);
+        return w * 64 + bit;
+      }
+    }
+    return -1;
+  }
+
+  /// Pops (returns and clears) the highest set vector; bitmap must be
+  /// non-empty.
+  std::uint8_t pop_highest() {
+    const int v = highest();
+    ES2_CHECK_MSG(v >= 0, "pop from empty IrqBitmap");
+    clear(static_cast<std::uint8_t>(v));
+    return static_cast<std::uint8_t>(v);
+  }
+
+  int count() const {
+    return std::popcount(words_[0]) + std::popcount(words_[1]) +
+           std::popcount(words_[2]) + std::popcount(words_[3]);
+  }
+
+  void reset() { words_[0] = words_[1] = words_[2] = words_[3] = 0; }
+
+ private:
+  std::uint64_t words_[4] = {0, 0, 0, 0};
+};
+
+}  // namespace es2

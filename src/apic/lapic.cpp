@@ -1,0 +1,36 @@
+#include "apic/lapic.h"
+
+namespace es2 {
+
+namespace {
+// Priority class of a vector: bits 7..4.
+int prio_class(int vector) { return vector >> 4; }
+}  // namespace
+
+int EmulatedLapic::deliverable() const {
+  const int pending = irr_.highest();
+  if (pending < 0) return -1;
+  const int in_service = isr_.highest();
+  if (in_service >= 0 && prio_class(pending) <= prio_class(in_service)) {
+    return -1;
+  }
+  return pending;
+}
+
+void EmulatedLapic::begin_service(Vector vector) {
+  ES2_CHECK_MSG(irr_.test(vector), "injecting vector that is not pending");
+  irr_.clear(vector);
+  isr_.set(vector);
+}
+
+bool EmulatedLapic::eoi() {
+  if (isr_.any()) isr_.pop_highest();
+  return deliverable() >= 0;
+}
+
+void EmulatedLapic::reset() {
+  irr_.reset();
+  isr_.reset();
+}
+
+}  // namespace es2

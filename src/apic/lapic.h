@@ -1,0 +1,48 @@
+// Software-emulated per-vCPU Local-APIC (the Baseline configuration).
+//
+// This is the KVM in-kernel LAPIC emulation as far as the event path is
+// concerned: interrupt state lives in host software, so getting an
+// interrupt *into* a running guest requires kicking the vCPU out of guest
+// mode (EXTERNAL_INTERRUPT exit) and injecting at the next VM entry, and
+// every guest EOI write traps (APIC_ACCESS exit). The exit orchestration
+// itself lives in vm::Vcpu; this class holds the register state.
+#pragma once
+
+#include <cstdint>
+
+#include "apic/irr.h"
+#include "apic/vectors.h"
+
+namespace es2 {
+
+class EmulatedLapic {
+ public:
+  /// Records a pending interrupt (hypervisor-side IRR write).
+  void post(Vector vector) { irr_.set(vector); }
+
+  bool has_pending() const { return irr_.any(); }
+
+  /// Highest-priority pending vector not masked by one in service, or -1.
+  /// The x86 rule: a pending vector is deliverable only if its priority
+  /// class exceeds the highest in-service vector's.
+  int deliverable() const;
+
+  /// Moves the given pending vector to in-service (interrupt injection).
+  void begin_service(Vector vector);
+
+  /// Guest EOI: retires the highest in-service vector.
+  /// Returns true if another interrupt became deliverable.
+  bool eoi();
+
+  int in_service_count() const { return isr_.count(); }
+  int pending_count() const { return irr_.count(); }
+  bool in_service(Vector v) const { return isr_.test(v); }
+
+  void reset();
+
+ private:
+  IrqBitmap irr_;
+  IrqBitmap isr_;
+};
+
+}  // namespace es2

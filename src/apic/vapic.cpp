@@ -1,0 +1,38 @@
+#include "apic/vapic.h"
+
+namespace es2 {
+
+namespace {
+int prio_class(int vector) { return vector >> 4; }
+}  // namespace
+
+int VApicPage::deliverable() const {
+  const int pending = virr_.highest();
+  if (pending < 0) return -1;
+  const int in_service = visr_.highest();
+  if (in_service >= 0 && prio_class(pending) <= prio_class(in_service)) {
+    return -1;
+  }
+  return pending;
+}
+
+Vector VApicPage::deliver() {
+  const int v = deliverable();
+  ES2_CHECK_MSG(v >= 0, "deliver with no deliverable virtual interrupt");
+  virr_.clear(static_cast<Vector>(v));
+  visr_.set(static_cast<Vector>(v));
+  return static_cast<Vector>(v);
+}
+
+bool VApicPage::eoi() {
+  if (visr_.any()) visr_.pop_highest();
+  return deliverable() >= 0;
+}
+
+void VApicPage::reset() {
+  pi_.reset();
+  virr_.reset();
+  visr_.reset();
+}
+
+}  // namespace es2

@@ -1,0 +1,85 @@
+// Hardware virtual-APIC page and posted-interrupt descriptor (the PI
+// configurations).
+//
+// Models the Intel APICv structures from the paper's Fig. 2:
+//  * `PiDescriptor` — the per-vCPU posted-interrupt descriptor: a 256-bit
+//    Posted Interrupt Request (PIR) bitmap plus the Outstanding
+//    Notification (ON) bit that suppresses duplicate notification IPIs.
+//  * `VApicPage` — the per-vCPU virtual-APIC page holding virtual IRR/ISR.
+//    Hardware syncs PIR->vIRR on notification receipt (guest mode) or at
+//    VM entry, delivers through the guest IDT without an exit, and handles
+//    virtual EOI writes without an exit.
+#pragma once
+
+#include <cstdint>
+
+#include "apic/irr.h"
+#include "apic/vectors.h"
+
+namespace es2 {
+
+class PiDescriptor {
+ public:
+  /// Posts an interrupt (paper Fig. 2 step 1): sets PIR[vector] and tests
+  /// the ON bit. Returns true if a notification IPI must be sent (ON was
+  /// clear); duplicate posts while a notification is outstanding are
+  /// coalesced by hardware.
+  bool post(Vector vector) {
+    pir_.set(vector);
+    if (outstanding_notification_) return false;
+    outstanding_notification_ = true;
+    return true;
+  }
+
+  bool has_posted() const { return pir_.any(); }
+  bool outstanding() const { return outstanding_notification_; }
+
+  /// Hardware PIR->vIRR sync (Fig. 2 step 3 / VM-entry processing):
+  /// clears ON, drains PIR into `dest`.
+  void sync_into(IrqBitmap& dest) {
+    outstanding_notification_ = false;
+    while (pir_.any()) dest.set(pir_.pop_highest());
+  }
+
+  void reset() {
+    pir_.reset();
+    outstanding_notification_ = false;
+  }
+
+ private:
+  IrqBitmap pir_;
+  bool outstanding_notification_ = false;
+};
+
+class VApicPage {
+ public:
+  PiDescriptor& pi() { return pi_; }
+  const PiDescriptor& pi() const { return pi_; }
+
+  /// Syncs posted interrupts into the virtual IRR.
+  void sync_pir() { pi_.sync_into(virr_); }
+
+  /// Highest deliverable virtual vector respecting in-service priority,
+  /// or -1.
+  int deliverable() const;
+
+  /// Hardware virtual-interrupt delivery (Fig. 2 step 4): IRR->ISR without
+  /// a VM exit. Returns the delivered vector.
+  Vector deliver();
+
+  /// Virtual EOI (Fig. 2 step 5), no VM exit. Returns true if another
+  /// virtual interrupt became deliverable (hardware re-evaluates).
+  bool eoi();
+
+  bool has_pending() const { return virr_.any(); }
+  int in_service_count() const { return visr_.count(); }
+
+  void reset();
+
+ private:
+  PiDescriptor pi_;
+  IrqBitmap virr_;
+  IrqBitmap visr_;
+};
+
+}  // namespace es2

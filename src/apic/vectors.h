@@ -1,0 +1,58 @@
+// x86 interrupt-vector space, following the Linux allocation strategy.
+//
+// ES2's interrupt redirection must only touch *device* interrupts: timer
+// and IPI vectors are generated for a specific vCPU and redirecting them
+// would crash the guest (paper §V-C). Linux's strict vector allocation
+// makes the distinction a simple range test, which is exactly what ES2
+// exploits — reproduced here.
+#pragma once
+
+#include <cstdint>
+
+namespace es2 {
+
+using Vector = std::uint8_t;
+
+// 0x00–0x1F: architectural exceptions (never delivered as interrupts here).
+inline constexpr Vector kFirstExternalVector = 0x20;
+
+// Device (external) interrupt vectors: what MSI/MSI-X interrupts from
+// virtio devices are allocated from.
+inline constexpr Vector kFirstDeviceVector = 0x30;
+inline constexpr Vector kLastDeviceVector = 0xEB;
+
+// Per-vCPU system vectors (must never be redirected).
+inline constexpr Vector kLocalTimerVector = 0xEC;
+inline constexpr Vector kRescheduleIpiVector = 0xFD;
+inline constexpr Vector kCallFunctionIpiVector = 0xFB;
+
+// The special posted-interrupt notification vector (paper Fig. 2 step 2):
+// receipt in guest mode triggers PIR->vIRR sync in hardware, no VM exit.
+inline constexpr Vector kPostedInterruptVector = 0xF2;
+// Posted-interrupt wakeup vector: notifies the hypervisor that a posted
+// interrupt targets a vCPU that is not running (KVM's PI wakeup handler).
+inline constexpr Vector kPostedInterruptWakeupVector = 0xF1;
+
+/// True for vectors ES2 may redirect (device interrupts only).
+constexpr bool is_device_vector(Vector v) {
+  return v >= kFirstDeviceVector && v <= kLastDeviceVector;
+}
+
+/// Interrupt delivery modes relevant to the redirection validity argument
+/// (paper §V-C): lowest-priority interrupts may land on any core, fixed
+/// ones only on the programmed destination.
+enum class DeliveryMode : std::uint8_t {
+  kFixed = 0,
+  kLowestPriority = 1,
+};
+
+/// A Message Signaled Interrupt as routed by kvm_set_msi_irq: the
+/// destination vCPU index comes from the MSI address (guest affinity), the
+/// vector from the MSI data.
+struct MsiMessage {
+  Vector vector = 0;
+  int dest_vcpu = 0;  // guest-affinity destination (vCPU index in the VM)
+  DeliveryMode mode = DeliveryMode::kLowestPriority;
+};
+
+}  // namespace es2

@@ -1,0 +1,23 @@
+// Lowest-priority CPU-burn task (the paper's "CPU burn script", run in
+// every tested VM to keep vCPUs busy: it prevents HLT exits in the micro
+// benchmarks and forces vCPU scheduling in the oversubscribed ones).
+#pragma once
+
+#include "guest/guest_os.h"
+
+namespace es2 {
+
+class CpuBurnTask final : public GuestTask {
+ public:
+  CpuBurnTask(GuestOs& os, int vcpu_affinity)
+      : GuestTask(os, "cpuburn", vcpu_affinity, /*low_priority=*/true) {}
+
+  void run_unit(Vcpu& vcpu) override {
+    const SimDuration slice = os().params().burn_slice;
+    const double ghz = vcpu.vm().host().costs().cpu_ghz;
+    vcpu.guest_exec(static_cast<Cycles>(to_seconds(slice) * ghz * 1e9),
+                    [this, &vcpu] { os().task_done(vcpu); });
+  }
+};
+
+}  // namespace es2

@@ -1,0 +1,16 @@
+#include "base/assert.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace es2::detail {
+
+void check_failed(const char* file, int line, const char* expr,
+                  const std::string& msg) {
+  std::fprintf(stderr, "ES2_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg.empty() ? "" : " — ", msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace es2::detail

@@ -1,0 +1,38 @@
+// Always-on invariant checking for the simulator.
+//
+// Simulation bugs corrupt results silently, so invariant checks stay on in
+// all build types. `ES2_CHECK` aborts with a source location and message;
+// `ES2_DCHECK` compiles out in NDEBUG builds for hot paths only.
+#pragma once
+
+#include <string>
+
+namespace es2::detail {
+[[noreturn]] void check_failed(const char* file, int line, const char* expr,
+                               const std::string& msg);
+}  // namespace es2::detail
+
+#define ES2_CHECK(expr)                                               \
+  do {                                                                \
+    if (!(expr)) [[unlikely]] {                                       \
+      ::es2::detail::check_failed(__FILE__, __LINE__, #expr, "");     \
+    }                                                                 \
+  } while (0)
+
+#define ES2_CHECK_MSG(expr, msg)                                      \
+  do {                                                                \
+    if (!(expr)) [[unlikely]] {                                       \
+      ::es2::detail::check_failed(__FILE__, __LINE__, #expr, (msg));  \
+    }                                                                 \
+  } while (0)
+
+#ifdef NDEBUG
+#define ES2_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define ES2_DCHECK(expr) ES2_CHECK(expr)
+#endif
+
+#define ES2_UNREACHABLE(msg) \
+  ::es2::detail::check_failed(__FILE__, __LINE__, "unreachable", (msg))

@@ -1,0 +1,27 @@
+// CSV emission for benchmark series (one file per figure).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace es2 {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  void add_row(const std::vector<std::string>& cells);
+
+  std::string render() const;
+
+  /// Writes the CSV to `path`, creating parent directories as needed.
+  /// Returns false (and leaves no partial file) on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace es2

@@ -1,0 +1,61 @@
+#include "base/log.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace es2 {
+
+namespace detail {
+
+std::string vformat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace detail
+
+namespace {
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() = default;
+
+void Logger::set_sink(Sink sink) { sink_ = std::move(sink); }
+
+void Logger::log(LogLevel level, SimTime now, const std::string& msg) {
+  if (!enabled(level)) return;
+  if (sink_) {
+    sink_(level, msg);
+    return;
+  }
+  std::fprintf(stderr, "[%12.6fms %-5s] %s\n", to_millis(now),
+               level_name(level), msg.c_str());
+}
+
+}  // namespace es2

@@ -1,0 +1,57 @@
+// Minimal leveled logging with a simulation-time prefix.
+//
+// Logging is off by default (benchmarks must stay quiet); tests and
+// debugging sessions enable it per-level. The sink is replaceable so tests
+// can capture output.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "base/units.h"
+
+namespace es2 {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  /// Replaces the output sink; pass nullptr to restore the stderr default.
+  void set_sink(Sink sink);
+
+  void log(LogLevel level, SimTime now, const std::string& msg);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kOff;
+  Sink sink_;
+};
+
+namespace detail {
+// printf-style formatting into std::string.
+std::string vformat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+}  // namespace detail
+
+#define ES2_LOG_AT(level, now, ...)                                     \
+  do {                                                                  \
+    if (::es2::Logger::instance().enabled(level)) {                     \
+      ::es2::Logger::instance().log(level, (now),                       \
+                                    ::es2::detail::vformat(__VA_ARGS__)); \
+    }                                                                   \
+  } while (0)
+
+#define ES2_TRACE(now, ...) ES2_LOG_AT(::es2::LogLevel::kTrace, now, __VA_ARGS__)
+#define ES2_DEBUG(now, ...) ES2_LOG_AT(::es2::LogLevel::kDebug, now, __VA_ARGS__)
+#define ES2_INFO(now, ...) ES2_LOG_AT(::es2::LogLevel::kInfo, now, __VA_ARGS__)
+#define ES2_WARN(now, ...) ES2_LOG_AT(::es2::LogLevel::kWarn, now, __VA_ARGS__)
+#define ES2_ERROR(now, ...) ES2_LOG_AT(::es2::LogLevel::kError, now, __VA_ARGS__)
+
+}  // namespace es2

@@ -1,0 +1,65 @@
+#include "base/strings.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace es2 {
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, copy);
+  }
+  va_end(copy);
+  return out;
+}
+
+std::string with_commas(std::int64_t value) {
+  const bool neg = value < 0;
+  std::string digits = std::to_string(neg ? -value : value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3 + 1);
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (neg) out.push_back('-');
+  return {out.rbegin(), out.rend()};
+}
+
+std::string fixed(double value, int prec) {
+  return format("%.*f", prec, value);
+}
+
+std::string rate_str(double per_second) {
+  if (per_second >= 1e6) return format("%.2fM/s", per_second / 1e6);
+  if (per_second >= 1e3) return format("%.1fk/s", per_second / 1e3);
+  return format("%.1f/s", per_second);
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (const char c : s) {
+    if (c == sep) {
+      parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  parts.push_back(cur);
+  return parts;
+}
+
+}  // namespace es2

@@ -1,0 +1,23 @@
+// Small string/format helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace es2 {
+
+/// printf-style formatting into std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Formats a count with thousands separators, e.g. 130840 -> "130,840".
+std::string with_commas(std::int64_t value);
+
+/// Formats a double with `prec` decimals.
+std::string fixed(double value, int prec);
+
+/// Human-readable rate, e.g. 12345.6 -> "12.3k/s".
+std::string rate_str(double per_second);
+
+std::vector<std::string> split(const std::string& s, char sep);
+
+}  // namespace es2

@@ -1,0 +1,70 @@
+#include "base/table.h"
+
+#include <algorithm>
+
+#include "base/assert.h"
+
+namespace es2 {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  ES2_CHECK(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  ES2_CHECK_MSG(cells.size() == headers_.size(),
+                "row width must match header width");
+  rows_.push_back({std::move(cells), pending_rule_});
+  pending_rule_ = false;
+}
+
+void Table::add_rule() { pending_rule_ = true; }
+
+std::string Table::render() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.cells.size(); ++i) {
+      widths[i] = std::max(widths[i], row.cells[i].size());
+    }
+  }
+
+  auto hrule = [&] {
+    std::string line = "+";
+    for (const size_t w : widths) {
+      line.append(w + 2, '-');
+      line.push_back('+');
+    }
+    line.push_back('\n');
+    return line;
+  };
+
+  auto render_cells = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (size_t i = 0; i < cells.size(); ++i) {
+      const size_t pad = widths[i] - cells[i].size();
+      line.push_back(' ');
+      if (i == 0) {
+        line += cells[i];
+        line.append(pad, ' ');
+      } else {
+        line.append(pad, ' ');
+        line += cells[i];
+      }
+      line += " |";
+    }
+    line.push_back('\n');
+    return line;
+  };
+
+  std::string out = hrule();
+  out += render_cells(headers_);
+  out += hrule();
+  for (const auto& row : rows_) {
+    if (row.rule_before) out += hrule();
+    out += render_cells(row.cells);
+  }
+  out += hrule();
+  return out;
+}
+
+}  // namespace es2

@@ -1,0 +1,37 @@
+// ASCII table rendering for benchmark/report output.
+//
+// The bench binaries print paper-reference rows next to measured rows;
+// `Table` keeps the columns aligned without every harness reimplementing
+// padding logic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace es2 {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Inserts a horizontal rule before the next added row.
+  void add_rule();
+
+  /// Renders the table; every column is sized to its widest cell. The first
+  /// column is left-aligned, the rest right-aligned.
+  std::string render() const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+}  // namespace es2

@@ -1,0 +1,66 @@
+// Time and data-size units for the ES2 simulator.
+//
+// All simulated time is kept in integer nanoseconds (`SimTime` /
+// `SimDuration`), which keeps the event queue deterministic and free of
+// floating-point drift. CPU work is expressed in cycles and converted to
+// time through a per-host clock frequency.
+#pragma once
+
+#include <cstdint>
+
+namespace es2 {
+
+/// Absolute simulated time in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// A span of simulated time in nanoseconds.
+using SimDuration = std::int64_t;
+
+/// CPU work expressed in clock cycles.
+using Cycles = std::int64_t;
+
+inline constexpr SimDuration kNanosecond = 1;
+inline constexpr SimDuration kMicrosecond = 1000;
+inline constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimDuration kSecond = 1000 * kMillisecond;
+
+constexpr SimDuration usec(std::int64_t n) { return n * kMicrosecond; }
+constexpr SimDuration msec(std::int64_t n) { return n * kMillisecond; }
+constexpr SimDuration sec(std::int64_t n) { return n * kSecond; }
+
+constexpr double to_seconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+constexpr double to_micros(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMicrosecond);
+}
+constexpr double to_millis(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+/// Converts CPU cycles to nanoseconds on a clock of `ghz` gigahertz.
+/// Rounds to the nearest nanosecond, with a floor of 1ns for nonzero work
+/// so that no work item ever completes at the instant it starts.
+constexpr SimDuration cycles_to_ns(Cycles c, double ghz) {
+  if (c <= 0) return 0;
+  const double ns = static_cast<double>(c) / ghz;
+  const auto rounded = static_cast<SimDuration>(ns + 0.5);
+  return rounded > 0 ? rounded : 1;
+}
+
+/// Data sizes.
+using Bytes = std::int64_t;
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+
+/// Bits-per-second of throughput given bytes moved over a duration.
+constexpr double bits_per_second(Bytes bytes, SimDuration elapsed) {
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(bytes) * 8.0 / to_seconds(elapsed);
+}
+
+constexpr double mbps(Bytes bytes, SimDuration elapsed) {
+  return bits_per_second(bytes, elapsed) / 1e6;
+}
+
+}  // namespace es2

@@ -1,0 +1,42 @@
+#include "baselines/coalescer.h"
+
+#include "base/assert.h"
+
+namespace es2 {
+
+InterruptCoalescer::InterruptCoalescer(VhostNetBackend& backend, Params params)
+    : backend_(backend), params_(params) {
+  ES2_CHECK(params_.batch >= 1);
+  ES2_CHECK(params_.timeout > 0);
+  backend.set_msi_filter([this](const MsiMessage& msi) { return on_msi(msi); });
+}
+
+InterruptCoalescer::~InterruptCoalescer() {
+  backend_.set_msi_filter(nullptr);
+  timer_.cancel();
+}
+
+bool InterruptCoalescer::on_msi(const MsiMessage& msi) {
+  held_msi_ = msi;
+  if (++held_ >= params_.batch) {
+    flush(/*from_timeout=*/false);
+    return false;  // flush already raised it
+  }
+  ++suppressed_;
+  if (held_ == 1) {
+    timer_ = backend_.vm().host().sim().after(
+        params_.timeout, [this] { flush(/*from_timeout=*/true); });
+  }
+  return false;
+}
+
+void InterruptCoalescer::flush(bool from_timeout) {
+  if (held_ == 0) return;
+  held_ = 0;
+  timer_.cancel();
+  ++raised_;
+  if (from_timeout) ++timeout_flushes_;
+  backend_.raise_msi_now(held_msi_);
+}
+
+}  // namespace es2

@@ -1,0 +1,55 @@
+// Guest poll-mode driver — the interrupt-substitution baseline of §II-C
+// (sEBP; DPDK/Netmap-style poll-mode drivers).
+//
+// A guest task that permanently disables the device's receive interrupts
+// and busy-polls the RX used ring instead: interrupts vanish entirely (no
+// delivery or completion exits even in the Baseline stack), and receive
+// latency is one poll cycle. The cost is the paper's critique: the poll
+// loop burns the vCPU whether or not traffic arrives ("hard to control
+// the frequency of polling, likely leading to excess I/O latency or
+// wasted CPU cycles"). `wasted_polls()` quantifies it.
+//
+// NOTE: unlike everything in src/es2, this baseline REQUIRES modifying the
+// guest (it replaces the NAPI driver) — exactly the deployment burden the
+// paper holds against this class of approaches.
+#pragma once
+
+#include <cstdint>
+
+#include "guest/guest_os.h"
+#include "guest/virtio_net.h"
+
+namespace es2 {
+
+class PollModeDriverTask final : public GuestTask {
+ public:
+  struct Params {
+    /// Cost of one empty poll probe of the used ring.
+    Cycles probe = 400;
+    /// Max packets consumed per poll burst before yielding to other tasks.
+    int burst = 32;
+  };
+
+  PollModeDriverTask(GuestOs& os, VirtioNetFrontend& dev, int vcpu_affinity)
+      : PollModeDriverTask(os, dev, vcpu_affinity, Params()) {}
+  PollModeDriverTask(GuestOs& os, VirtioNetFrontend& dev, int vcpu_affinity,
+                     Params params);
+
+  void run_unit(Vcpu& vcpu) override;
+
+  std::int64_t polled_packets() const { return polled_packets_; }
+  /// Poll probes that found the ring empty — pure wasted CPU.
+  std::int64_t wasted_polls() const { return wasted_polls_; }
+  /// Fraction of poll probes that were wasted.
+  double wasted_fraction() const;
+
+ private:
+  void consume_one(Vcpu& vcpu, int budget_left);
+
+  VirtioNetFrontend& dev_;
+  Params params_;
+  std::int64_t polled_packets_ = 0;
+  std::int64_t wasted_polls_ = 0;
+};
+
+}  // namespace es2

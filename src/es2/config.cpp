@@ -1,0 +1,23 @@
+#include "es2/config.h"
+
+namespace es2 {
+
+const Es2Config* Es2Config::all4() {
+  static const Es2Config configs[4] = {
+      Es2Config::baseline(),
+      Es2Config::pi(),
+      Es2Config::pi_h(),
+      Es2Config::pi_h_r(),
+  };
+  return configs;
+}
+
+std::string Es2Config::name() const {
+  if (!posted_interrupts) return "Baseline";
+  std::string n = "PI";
+  if (hybrid_io) n += "+H";
+  if (redirection) n += "+R";
+  return n;
+}
+
+}  // namespace es2

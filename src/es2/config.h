@@ -1,0 +1,52 @@
+// ES2 configuration axes — the four stacks of the paper's evaluation:
+//
+//   Baseline : emulated LAPIC, stock vhost, affinity routing
+//   PI       : + posted interrupts (exit-less delivery & completion)
+//   PI+H     : + Hybrid I/O Handling (Algorithm 1, quota polling)
+//   PI+H+R   : + Intelligent Interrupt Redirection  — full ES2
+#pragma once
+
+#include <string>
+
+#include "vm/vcpu.h"
+
+namespace es2 {
+
+/// Redirection target policies (the paper's policy plus ablation variants).
+enum class RedirectPolicy {
+  kPaper,          // lightest-loaded online vCPU, sticky until descheduled;
+                   // offline fallback = head of deschedule-ordered list
+  kNoSticky,       // lightest-loaded online vCPU on every interrupt
+  kRoundRobin,     // rotate over online vCPUs
+  kRandomOffline,  // paper online policy, random offline prediction
+};
+
+struct Es2Config {
+  bool posted_interrupts = false;
+  bool hybrid_io = false;
+  bool redirection = false;
+  /// Algorithm 1 quota (the vhost poll_quota module parameter). The paper
+  /// selects 4 for TCP-dominated and 8 for UDP-dominated workloads.
+  int poll_quota = 4;
+  RedirectPolicy policy = RedirectPolicy::kPaper;
+
+  static Es2Config baseline() { return {}; }
+  static Es2Config pi() { return {true, false, false, 4, RedirectPolicy::kPaper}; }
+  static Es2Config pi_h(int quota = 4) {
+    return {true, true, false, quota, RedirectPolicy::kPaper};
+  }
+  static Es2Config pi_h_r(int quota = 4) {
+    return {true, true, true, quota, RedirectPolicy::kPaper};
+  }
+  /// All four stacks in the paper's presentation order.
+  static const Es2Config* all4();
+
+  InterruptVirtMode irq_mode() const {
+    return posted_interrupts ? InterruptVirtMode::kPostedInterrupt
+                             : InterruptVirtMode::kEmulatedLapic;
+  }
+
+  std::string name() const;
+};
+
+}  // namespace es2

@@ -1,0 +1,122 @@
+#include "es2/redirect.h"
+
+#include "base/assert.h"
+
+namespace es2 {
+
+InterruptRedirector::InterruptRedirector(KvmHost& host, RedirectPolicy policy,
+                                         std::uint64_t seed)
+    : host_(host), policy_(policy), rng_(Rng::stream(seed, "redirector")) {
+  host.router().set_interceptor(
+      [this](Vm& vm, const MsiMessage& msg) -> int {
+        if (!tracks(vm)) return -1;  // untracked VMs keep their affinity
+        return select_target(vm, msg);
+      });
+}
+
+void InterruptRedirector::track(Vm& vm) {
+  if (tracks(vm)) return;
+  trackers_.emplace(&vm, std::make_unique<VcpuStatusTracker>(vm));
+}
+
+bool InterruptRedirector::tracks(const Vm& vm) const {
+  return trackers_.count(&vm) != 0;
+}
+
+VcpuStatusTracker& InterruptRedirector::tracker(Vm& vm) {
+  const auto it = trackers_.find(&vm);
+  ES2_CHECK_MSG(it != trackers_.end(), "VM is not tracked");
+  return *it->second;
+}
+
+int InterruptRedirector::select_target(Vm& vm, const MsiMessage& msg) {
+  // UP VMs: redirection can have no effect (paper §IV-C, special case 1).
+  if (vm.num_vcpus() <= 1) return msg.dest_vcpu;
+
+  VcpuStatusTracker& t = tracker(vm);
+
+  switch (policy_) {
+    case RedirectPolicy::kPaper: {
+      const int sticky = t.sticky_target();
+      if (sticky >= 0 && t.is_online(sticky)) {
+        ++via_sticky_;
+        t.count_interrupt(sticky);
+        return sticky;
+      }
+      const int lightest = t.lightest_online();
+      if (lightest >= 0) {
+        ++via_online_;
+        t.set_sticky_target(lightest);
+        t.count_interrupt(lightest);
+        return lightest;
+      }
+      const int predicted = t.predict_next_online();
+      if (predicted >= 0) {
+        ++via_offline_;
+        t.count_interrupt(predicted);
+        return predicted;
+      }
+      return msg.dest_vcpu;
+    }
+
+    case RedirectPolicy::kNoSticky: {
+      const int lightest = t.lightest_online();
+      if (lightest >= 0) {
+        ++via_online_;
+        t.count_interrupt(lightest);
+        return lightest;
+      }
+      const int predicted = t.predict_next_online();
+      if (predicted >= 0) {
+        ++via_offline_;
+        t.count_interrupt(predicted);
+        return predicted;
+      }
+      return msg.dest_vcpu;
+    }
+
+    case RedirectPolicy::kRoundRobin: {
+      const auto& online = t.online();
+      if (!online.empty()) {
+        ++via_online_;
+        const int v = online[rr_cursor_++ % online.size()];
+        t.count_interrupt(v);
+        return v;
+      }
+      const int predicted = t.predict_next_online();
+      if (predicted >= 0) {
+        ++via_offline_;
+        t.count_interrupt(predicted);
+        return predicted;
+      }
+      return msg.dest_vcpu;
+    }
+
+    case RedirectPolicy::kRandomOffline: {
+      const int sticky = t.sticky_target();
+      if (sticky >= 0 && t.is_online(sticky)) {
+        ++via_sticky_;
+        t.count_interrupt(sticky);
+        return sticky;
+      }
+      const int lightest = t.lightest_online();
+      if (lightest >= 0) {
+        ++via_online_;
+        t.set_sticky_target(lightest);
+        t.count_interrupt(lightest);
+        return lightest;
+      }
+      const auto& offline = t.offline();
+      if (!offline.empty()) {
+        ++via_offline_;
+        const int v = offline[rng_.next_below(offline.size())];
+        t.count_interrupt(v);
+        return v;
+      }
+      return msg.dest_vcpu;
+    }
+  }
+  ES2_UNREACHABLE("bad redirect policy");
+}
+
+}  // namespace es2

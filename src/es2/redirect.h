@@ -1,0 +1,62 @@
+// Intelligent Interrupt Redirection (paper §IV-C / §V-C).
+//
+// Installed as the IRQ router's interceptor (the kvm_set_msi_irq hook).
+// For each device MSI toward a tracked SMP VM it selects the most
+// appropriate destination vCPU:
+//
+//   1. the current sticky target if it is still online (cache affinity);
+//   2. otherwise the online vCPU with the lightest interrupt load
+//      (workload balancing), which becomes the new sticky target;
+//   3. otherwise — no vCPU online — the offline vCPU predicted to regain
+//      the CPU first: the head of the deschedule-ordered offline list.
+//
+// Non-device vectors never reach this code (the router filters them), and
+// uniprocessor VMs are left untouched (redirection cannot help them).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "base/rng.h"
+#include "es2/config.h"
+#include "es2/tracker.h"
+#include "vm/vm.h"
+
+namespace es2 {
+
+class InterruptRedirector {
+ public:
+  InterruptRedirector(KvmHost& host, RedirectPolicy policy,
+                      std::uint64_t seed = 1);
+  InterruptRedirector(const InterruptRedirector&) = delete;
+  InterruptRedirector& operator=(const InterruptRedirector&) = delete;
+
+  /// Starts tracking a VM's vCPU scheduling status. Must be called before
+  /// the VM starts so no transition is missed.
+  void track(Vm& vm);
+
+  VcpuStatusTracker& tracker(Vm& vm);
+  bool tracks(const Vm& vm) const;
+
+  // Decision statistics.
+  std::int64_t via_sticky() const { return via_sticky_; }
+  std::int64_t via_online() const { return via_online_; }
+  std::int64_t via_offline_prediction() const { return via_offline_; }
+
+  /// The interceptor body, exposed for tests: returns the destination
+  /// vCPU index (or the message's own destination).
+  int select_target(Vm& vm, const MsiMessage& msg);
+
+ private:
+  KvmHost& host_;
+  RedirectPolicy policy_;
+  Rng rng_;
+  std::unordered_map<const Vm*, std::unique_ptr<VcpuStatusTracker>> trackers_;
+  std::uint64_t rr_cursor_ = 0;
+  std::int64_t via_sticky_ = 0;
+  std::int64_t via_online_ = 0;
+  std::int64_t via_offline_ = 0;
+};
+
+}  // namespace es2

@@ -1,0 +1,51 @@
+// Guest-side cycle costs.
+//
+// Calibrated against the paper's Baseline numbers: a 1-vCPU guest sending
+// 1024-byte TCP segments sustains ~70k packets/s at ~70% time-in-guest
+// (Table I / Fig. 5a), and ~100k packets/s of 256-byte UDP at ~68% TIG
+// (Fig. 4a) — which pins the per-packet stack costs to several
+// microseconds at 2.3 GHz.
+#pragma once
+
+#include "base/units.h"
+
+namespace es2 {
+
+struct GuestParams {
+  // --- transmit path (task context: syscall + stack + virtio enqueue) ---
+  Cycles udp_send_per_packet = 10000;
+  Cycles tcp_send_per_packet = 13300;
+  double tx_cycles_per_byte = 0.9;
+
+  // --- receive path (NAPI softirq context, per packet) -------------------
+  Cycles rx_tcp_per_packet = 8500;
+  Cycles rx_udp_per_packet = 7000;
+  double rx_cycles_per_byte = 0.7;
+  Cycles rx_ack_processing = 4500;  // pure ACK (no payload) on the sender
+
+  // --- interrupt handling -------------------------------------------------
+  Cycles hardirq = 1700;            // device ISR body before EOI
+  Cycles softirq_entry = 1800;      // NAPI scheduling + softirq dispatch
+  Cycles timer_handler = 3200;      // guest LAPIC timer tick work
+  Cycles resched_ipi_handler = 900;
+  Cycles napi_complete = 900;       // re-enable irqs + napi_complete
+  int napi_weight = 64;             // Linux NAPI budget per poll round
+
+  // --- TCP endpoint behaviour ---------------------------------------------
+  Cycles ack_send = 7000;           // generate + enqueue an ACK segment
+  int delayed_ack_every = 2;        // ACK every 2nd segment (RFC 1122)
+  Bytes tcp_window = kMiB;          // effective send window (autotuned)
+
+  // --- tasks ---------------------------------------------------------------
+  Cycles task_switch = 1200;
+  SimDuration burn_slice = usec(50);  // CPU-burn work-unit granularity
+  Cycles tx_reclaim_per_entry = 250;  // freeing one completed tx descriptor
+
+  // --- misc ----------------------------------------------------------------
+  Cycles rx_refill_per_buffer = 300;
+  /// Multiplicative per-work-unit cost jitter (uniform +/- fraction):
+  /// models cache effects, syscall variance and softirq interference.
+  double cost_jitter = 0.12;
+};
+
+}  // namespace es2

@@ -1,0 +1,201 @@
+#include "guest/virtio_net.h"
+
+#include "base/assert.h"
+#include "guest/guest_os.h"
+
+namespace es2 {
+
+VirtioNetFrontend::VirtioNetFrontend(GuestOs& os, VhostNetBackend& backend)
+    : os_(os), backend_(backend) {
+  // Driver initialization: pre-post the whole receive ring, run TX with
+  // completion interrupts off (Linux virtio-net frees old skbs inline) and
+  // RX interrupts on. Refill notifications start disabled host-side.
+  Virtqueue& rx = backend_.rx_vq();
+  while (rx.free_slots() > 0) {
+    const bool ok = rx.add_avail(Virtqueue::Entry{nullptr, 0});
+    ES2_CHECK(ok);
+  }
+  rx.disable_notifications();
+  backend_.tx_vq().disable_interrupts();
+  os.attach_netdev(*this);
+}
+
+bool VirtioNetFrontend::owns_vector(Vector v) const {
+  return v == backend_.rx_msi().vector || v == backend_.tx_msi().vector;
+}
+
+void VirtioNetFrontend::handle_irq(Vcpu& vcpu, Vector) {
+  const GuestParams& p = os_.params();
+  vcpu.guest_exec(p.hardirq, [this, &vcpu] {
+    // napi_schedule: mask this device's interrupts until polling drains.
+    backend_.rx_vq().disable_interrupts();
+    backend_.tx_vq().disable_interrupts();
+    napi_scheduled_ = true;
+    vcpu.guest_eoi([this, &vcpu] {
+      const GuestParams& p = os_.params();
+      vcpu.guest_exec(p.softirq_entry, [this, &vcpu] {
+        napi_poll(vcpu, [this, &vcpu] {
+          napi_scheduled_ = false;
+          vcpu.irq_done();
+        });
+      });
+    });
+  });
+}
+
+void VirtioNetFrontend::napi_poll(Vcpu& vcpu, std::function<void()> done) {
+  reclaim_tx(vcpu, [this, &vcpu, done = std::move(done)]() mutable {
+    napi_poll_one(vcpu, os_.params().napi_weight, std::move(done));
+  });
+}
+
+namespace {
+Cycles rx_packet_cost(const GuestParams& p, const Packet& pkt) {
+  switch (pkt.proto) {
+    case Proto::kTcp:
+      if (pkt.payload == 0) return p.rx_ack_processing;
+      return p.rx_tcp_per_packet +
+             static_cast<Cycles>(p.rx_cycles_per_byte *
+                                 static_cast<double>(pkt.payload));
+    case Proto::kUdp:
+      return p.rx_udp_per_packet +
+             static_cast<Cycles>(p.rx_cycles_per_byte *
+                                 static_cast<double>(pkt.payload));
+    case Proto::kIcmp:
+      return p.rx_udp_per_packet;
+  }
+  return p.rx_udp_per_packet;
+}
+}  // namespace
+
+void VirtioNetFrontend::napi_poll_one(Vcpu& vcpu, int budget_left,
+                                      std::function<void()> done) {
+  Virtqueue& rx = backend_.rx_vq();
+  auto entry = rx.pop_used();
+  if (!entry) {
+    finish_poll(vcpu, std::move(done));
+    return;
+  }
+  ES2_CHECK_MSG(entry->packet != nullptr, "used RX entry without a packet");
+  const Cycles cost = rx_packet_cost(os_.params(), *entry->packet);
+  PacketPtr packet = entry->packet;
+  vcpu.guest_exec(cost, [this, &vcpu, budget_left, packet = std::move(packet),
+                         done = std::move(done)]() mutable {
+    ++rx_polled_;
+    os_.deliver_to_stack(
+        vcpu, packet,
+        [this, &vcpu, budget_left, done = std::move(done)]() mutable {
+          // Linux reschedules the softirq when the budget is spent; the
+          // net effect under sustained load is continued polling, which is
+          // what we model.
+          const int next_budget =
+              budget_left > 1 ? budget_left - 1 : os_.params().napi_weight;
+          napi_poll_one(vcpu, next_budget, std::move(done));
+        });
+  });
+}
+
+void VirtioNetFrontend::finish_poll(Vcpu& vcpu, std::function<void()> done) {
+  refill_rx(vcpu, [this, &vcpu, done = std::move(done)]() mutable {
+    Virtqueue& rx = backend_.rx_vq();
+    rx.enable_interrupts();
+    if (rx.used_count() > 0) {
+      // Race: more packets completed between the last poll and re-enable.
+      rx.disable_interrupts();
+      napi_poll_one(vcpu, os_.params().napi_weight, std::move(done));
+      return;
+    }
+    // TX-completion interrupts are armed only while senders wait on a
+    // stopped queue; otherwise virtio-net leaves them off.
+    if (!tx_waiters_.empty()) backend_.tx_vq().enable_interrupts();
+    vcpu.guest_exec(os_.params().napi_complete, std::move(done));
+  });
+}
+
+void VirtioNetFrontend::reclaim_tx(Vcpu& vcpu, std::function<void()> done) {
+  Virtqueue& tx = backend_.tx_vq();
+  int freed = 0;
+  while (tx.pop_used()) ++freed;
+  if (freed == 0) {
+    done();
+    return;
+  }
+  const Cycles cost = static_cast<Cycles>(freed) *
+                      os_.params().tx_reclaim_per_entry;
+  vcpu.guest_exec(cost, [this, done = std::move(done)]() mutable {
+    if (!tx_waiters_.empty()) {
+      auto waiters = std::move(tx_waiters_);
+      tx_waiters_.clear();
+      for (GuestTask* task : waiters) task->wake();
+    }
+    done();
+  });
+}
+
+void VirtioNetFrontend::refill_rx(Vcpu& vcpu, std::function<void()> done) {
+  Virtqueue& rx = backend_.rx_vq();
+  int added = 0;
+  bool kick = false;
+  while (rx.free_slots() > 0) {
+    const bool ok = rx.add_avail(Virtqueue::Entry{nullptr, 0});
+    ES2_CHECK(ok);
+    kick = kick || rx.kick_needed();
+    ++added;
+  }
+  if (added == 0) {
+    done();
+    return;
+  }
+  const Cycles cost =
+      static_cast<Cycles>(added) * os_.params().rx_refill_per_buffer;
+  vcpu.guest_exec(cost, [this, &vcpu, kick, done = std::move(done)]() mutable {
+    if (kick) {
+      ++kicks_;
+      vcpu.guest_io_kick([this] { backend_.notify_rx(); }, std::move(done));
+      return;
+    }
+    done();
+  });
+}
+
+void VirtioNetFrontend::transmit(Vcpu& vcpu, PacketPtr packet,
+                                 std::function<void(bool)> done) {
+  Virtqueue& tx = backend_.tx_vq();
+  // start_xmit frees completed descriptors inline (cost folded into the
+  // caller's per-packet send cost).
+  while (tx.pop_used()) {
+  }
+  if (tx.free_slots() <= 0) {
+    // Ring full: stop the queue and arm TX-completion interrupts so the
+    // backend's progress wakes the sender.
+    ++tx_stops_;
+    tx.enable_interrupts();
+    if (tx.used_count() > 0) {
+      // Race: completions arrived before the irq was armed.
+      while (tx.pop_used()) {
+      }
+      tx.disable_interrupts();
+    } else {
+      done(false);
+      return;
+    }
+  }
+  const bool ok = tx.add_avail(Virtqueue::Entry{packet, packet->wire_size});
+  ES2_CHECK(ok);
+  if (tx.kick_needed()) {
+    ++kicks_;
+    vcpu.guest_io_kick([this] { backend_.notify_tx(); },
+                       [done = std::move(done)] { done(true); });
+    return;
+  }
+  done(true);
+}
+
+void VirtioNetFrontend::add_tx_waiter(GuestTask& task) {
+  for (GuestTask* t : tx_waiters_) {
+    if (t == &task) return;
+  }
+  tx_waiters_.push_back(&task);
+}
+
+}  // namespace es2

@@ -1,0 +1,72 @@
+// Guest virtio-net front-end driver with NAPI.
+//
+// The driver side of the paravirtual device: transmit enqueues segments
+// into the TX virtqueue and kicks only when the suppression protocol says
+// so (this is the guest half of the paper's hybrid scheme — the guest is
+// *unmodified*; only the host-written suppression fields change behaviour).
+// Receive follows Linux NAPI: hardirq -> napi_schedule (device interrupts
+// off) -> softirq poll loop (budgeted) -> re-enable interrupts when drained.
+// A full TX ring stops the queue and arms TX-completion interrupts,
+// producing real backpressure.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "guest/guest_params.h"
+#include "net/packet.h"
+#include "virtio/vhost.h"
+#include "vm/vm.h"
+
+namespace es2 {
+
+class GuestOs;
+class GuestTask;
+
+class VirtioNetFrontend {
+ public:
+  VirtioNetFrontend(GuestOs& os, VhostNetBackend& backend);
+  VirtioNetFrontend(const VirtioNetFrontend&) = delete;
+  VirtioNetFrontend& operator=(const VirtioNetFrontend&) = delete;
+
+  /// True if this driver owns the given interrupt vector.
+  bool owns_vector(Vector v) const;
+
+  /// Hardirq entry for this device (called from GuestOs::take_interrupt);
+  /// runs hardirq -> EOI -> NAPI softirq, then Vcpu::irq_done().
+  void handle_irq(Vcpu& vcpu, Vector vector);
+
+  /// Transmits one segment from task/softirq context. `done(sent)` is
+  /// called with sent=false when the TX ring is full (queue stopped); the
+  /// caller should block and retry after `wake()`.
+  void transmit(Vcpu& vcpu, PacketPtr packet,
+                std::function<void(bool sent)> done);
+
+  /// Registers a task to wake when TX descriptors free up after a stop.
+  void add_tx_waiter(GuestTask& task);
+
+  std::int64_t tx_queue_stops() const { return tx_stops_; }
+  std::int64_t rx_polled() const { return rx_polled_; }
+  std::int64_t kicks() const { return kicks_; }
+
+  VhostNetBackend& backend() { return backend_; }
+
+ private:
+  void napi_poll(Vcpu& vcpu, std::function<void()> done);
+  void napi_poll_one(Vcpu& vcpu, int budget_left, std::function<void()> done);
+  void finish_poll(Vcpu& vcpu, std::function<void()> done);
+  /// Frees completed TX descriptors; wakes stopped-queue waiters.
+  void reclaim_tx(Vcpu& vcpu, std::function<void()> done);
+  void refill_rx(Vcpu& vcpu, std::function<void()> done);
+
+  GuestOs& os_;
+  VhostNetBackend& backend_;
+  bool napi_scheduled_ = false;
+  std::vector<GuestTask*> tx_waiters_;
+  std::int64_t tx_stops_ = 0;
+  std::int64_t rx_polled_ = 0;
+  std::int64_t kicks_ = 0;
+};
+
+}  // namespace es2

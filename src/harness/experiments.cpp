@@ -1,0 +1,233 @@
+#include "harness/experiments.h"
+
+#include <memory>
+
+#include "apps/httpd.h"
+#include "apps/memcached.h"
+#include "apps/netperf.h"
+#include "apps/ping.h"
+#include "base/assert.h"
+
+namespace es2 {
+
+namespace {
+
+inline constexpr std::uint64_t kStreamFlowBase = 100;
+
+TestbedOptions testbed_options(const Es2Config& config, bool macro,
+                               std::uint64_t seed) {
+  TestbedOptions o;
+  o.config = config;
+  o.seed = seed;
+  if (macro) {
+    o.num_vms = 4;
+    o.vcpus_per_vm = 4;
+    o.stack_vms = true;
+    o.vhost_core = 4;
+  } else {
+    o.num_vms = 1;
+    o.vcpus_per_vm = 1;
+    o.stack_vms = false;
+    o.vhost_core = 4;
+  }
+  return o;
+}
+
+}  // namespace
+
+ExitBreakdown exit_breakdown(const ExitStats& stats, SimTime now) {
+  ExitBreakdown b;
+  b.interrupt_delivery = stats.rate(ExitReason::kExternalInterrupt, now);
+  b.interrupt_completion = stats.rate(ExitReason::kApicAccess, now);
+  b.io_instruction = stats.rate(ExitReason::kIoInstruction, now);
+  b.others = stats.others_rate(now);
+  b.total = stats.total_rate(now);
+  b.tig_percent = stats.tig_percent();
+  return b;
+}
+
+// ---------------------------------------------------------------------------
+// Streams
+// ---------------------------------------------------------------------------
+
+StreamResult run_stream(const StreamOptions& opts) {
+  Testbed tb(testbed_options(opts.config, opts.macro, opts.seed));
+  if (opts.quota_override > 0) {
+    HybridIoHandling::attach(tb.backend(), opts.quota_override);
+  }
+
+  const int vcpus = tb.tested_vm().num_vcpus();
+  std::vector<std::unique_ptr<NetperfSender>> senders;
+  std::vector<std::unique_ptr<PeerStreamReceiver>> peer_rx;
+  std::vector<std::unique_ptr<NetperfReceiver>> guest_rx;
+  std::vector<std::unique_ptr<PeerStreamSender>> peer_tx;
+
+  for (int t = 0; t < opts.threads; ++t) {
+    const std::uint64_t flow = kStreamFlowBase + static_cast<std::uint64_t>(t);
+    if (opts.vm_sends) {
+      senders.push_back(std::make_unique<NetperfSender>(
+          tb.guest(), tb.frontend(), flow, opts.proto, opts.msg_size,
+          t % vcpus));
+      tb.guest().add_task(*senders.back());
+      peer_rx.push_back(
+          std::make_unique<PeerStreamReceiver>(tb.peer(), flow, opts.proto));
+    } else {
+      guest_rx.push_back(std::make_unique<NetperfReceiver>(
+          tb.guest(), tb.frontend(), flow, opts.proto));
+      PeerStreamSender::Params p;
+      p.proto = opts.proto;
+      p.msg_size = opts.msg_size;
+      p.udp_rate_pps = opts.udp_offered_pps / opts.threads;
+      peer_tx.push_back(
+          std::make_unique<PeerStreamSender>(tb.peer(), flow, p));
+    }
+  }
+
+  tb.start();
+  for (auto& s : peer_tx) s->start();
+
+  // Warmup, then open every measurement window at the same instant.
+  tb.sim().run_for(opts.warmup);
+  const SimTime window_start = tb.sim().now();
+  tb.tested_vm().begin_stats_window();
+  for (auto& r : peer_rx) r->begin_window(window_start);
+  Bytes bytes_base = 0;
+  std::int64_t pkt_base = 0;
+  for (auto& r : guest_rx) {
+    bytes_base += r->bytes_received();
+    pkt_base += r->packets_received();
+  }
+  for (auto& r : peer_rx) pkt_base += r->packets_received();
+  const std::int64_t kicks_base = tb.frontend().kicks();
+  std::int64_t irqs_base = 0;
+  for (int i = 0; i < vcpus; ++i) irqs_base += tb.tested_vm().vcpu(i).irqs_taken();
+
+  tb.sim().run_for(opts.measure);
+  const SimTime now = tb.sim().now();
+  const double secs = to_seconds(now - window_start);
+
+  StreamResult result;
+  result.exits = exit_breakdown(tb.tested_vm().aggregate_stats(), now);
+  std::int64_t pkts = 0;
+  if (opts.vm_sends) {
+    for (auto& r : peer_rx) {
+      result.throughput_mbps += r->throughput_mbps(now);
+      pkts += r->packets_received();
+    }
+  } else {
+    Bytes bytes = 0;
+    for (auto& r : guest_rx) {
+      bytes += r->bytes_received();
+      pkts += r->packets_received();
+    }
+    result.throughput_mbps = mbps(bytes - bytes_base, now - window_start);
+  }
+  result.packets_per_sec = static_cast<double>(pkts - pkt_base) / secs;
+  result.kicks_per_sec =
+      static_cast<double>(tb.frontend().kicks() - kicks_base) / secs;
+  std::int64_t irqs = 0;
+  for (int i = 0; i < vcpus; ++i) irqs += tb.tested_vm().vcpu(i).irqs_taken();
+  result.guest_irqs_per_sec = static_cast<double>(irqs - irqs_base) / secs;
+  result.rx_dropped = tb.backend().rx_dropped();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Ping
+// ---------------------------------------------------------------------------
+
+PingResult run_ping(const PingOptions& opts) {
+  Testbed tb(testbed_options(opts.config, /*macro=*/true, opts.seed));
+  const std::uint64_t flow = 7;
+  PingResponder responder(tb.guest(), tb.frontend(), flow);
+  PingClient client(tb.peer(), flow, opts.interval);
+
+  tb.start();
+  client.start();
+  // One interval of warmup, then collect `samples` echoes.
+  tb.sim().run_for(opts.interval * 2);
+  const SimDuration span = opts.interval * (opts.samples + 1);
+  tb.sim().run_for(span);
+
+  PingResult result;
+  result.rtt = client.rtt();
+  result.samples = client.samples();
+  result.lost = client.lost();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Memcached
+// ---------------------------------------------------------------------------
+
+MemcachedResult run_memcached(const MemcachedOptions& opts) {
+  Testbed tb(testbed_options(opts.config, /*macro=*/true, opts.seed));
+  const std::uint64_t base_flow = 1000;
+  MemcachedServer server(tb.guest(), tb.frontend(), base_flow,
+                         opts.client_threads, opts.workers);
+  MemaslapClient::Params cp;
+  cp.threads = opts.client_threads;
+  cp.concurrency_per_thread = opts.concurrency_per_thread;
+  cp.get_ratio = opts.get_ratio;
+  MemaslapClient client(tb.peer(), base_flow, cp, opts.seed);
+
+  tb.start();
+  client.start();
+  tb.sim().run_for(opts.warmup);
+  client.begin_window(tb.sim().now());
+  tb.sim().run_for(opts.measure);
+
+  MemcachedResult result;
+  result.ops_per_sec = client.ops_per_sec(tb.sim().now());
+  result.throughput_mbps = client.response_mbps(tb.sim().now());
+  result.latency = client.latency();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Apache / Httperf
+// ---------------------------------------------------------------------------
+
+ApacheResult run_apache(const ApacheOptions& opts) {
+  Testbed tb(testbed_options(opts.config, /*macro=*/true, opts.seed));
+  const std::uint64_t base_flow = 2000;
+  ApacheServer server(tb.guest(), tb.frontend(), base_flow, opts.concurrency,
+                      opts.workers);
+  AbClient client(tb.peer(), base_flow, opts.concurrency);
+
+  tb.start();
+  client.start();
+  tb.sim().run_for(opts.warmup);
+  client.begin_window(tb.sim().now());
+  tb.sim().run_for(opts.measure);
+
+  ApacheResult result;
+  result.requests_per_sec = client.requests_per_sec(tb.sim().now());
+  result.throughput_mbps = client.response_mbps(tb.sim().now());
+  return result;
+}
+
+HttperfResult run_httperf(const HttperfOptions& opts) {
+  Testbed tb(testbed_options(opts.config, /*macro=*/true, opts.seed));
+  const std::uint64_t base_flow = 3000;
+  ApacheServer server(tb.guest(), tb.frontend(), base_flow, /*client_conns=*/1,
+                      /*workers=*/4);
+  HttperfClient client(tb.peer(), server.listen_flow(), opts.rate_per_sec);
+
+  tb.start();
+  client.start();
+  tb.sim().run_for(opts.duration);
+  client.stop();
+  // Let in-flight handshakes settle.
+  tb.sim().run_for(msec(500));
+
+  HttperfResult result;
+  result.avg_connect_ms = client.connect_time().mean() / 1e6;
+  result.p99_connect_ms =
+      static_cast<double>(client.connect_time().p99()) / 1e6;
+  result.established = client.established();
+  result.retries = client.retries();
+  return result;
+}
+
+}  // namespace es2

@@ -1,0 +1,141 @@
+// Canned experiment runners — one per paper workload family.
+//
+// Each runner builds a fresh deterministic `Testbed`, installs the
+// workload, warms up, measures, and returns the metrics the corresponding
+// table/figure reports. Bench binaries, integration tests and examples all
+// share these.
+#pragma once
+
+#include <vector>
+
+#include "es2/config.h"
+#include "harness/testbed.h"
+#include "stats/histogram.h"
+
+namespace es2 {
+
+/// Paper-style exit breakdown (Table I / Fig. 5 rows).
+struct ExitBreakdown {
+  double interrupt_delivery = 0;  // external_interrupt exits/s
+  double interrupt_completion = 0;  // apic_access exits/s
+  double io_instruction = 0;      // guest I/O request exits/s
+  double others = 0;
+  double total = 0;
+  double tig_percent = 0;
+};
+
+ExitBreakdown exit_breakdown(const ExitStats& stats, SimTime now);
+
+// ---------------------------------------------------------------------------
+// Netperf streams (Table I, Fig. 4, Fig. 5, Fig. 6)
+// ---------------------------------------------------------------------------
+
+struct StreamOptions {
+  Es2Config config;
+  Proto proto = Proto::kTcp;
+  Bytes msg_size = 1024;
+  bool vm_sends = true;
+  /// false: micro topology (1 vCPU, dedicated core);
+  /// true:  macro topology (4 VMs x 4 vCPUs stacked on 4 cores).
+  bool macro = false;
+  /// Number of concurrent netperf threads in the tested VM.
+  int threads = 1;
+  /// Explicit Algorithm 1 quota (Fig. 4 sweeps); <= 0 uses config default.
+  int quota_override = 0;
+  /// Offered load for peer->VM UDP streams.
+  double udp_offered_pps = 220000;
+  std::uint64_t seed = 1;
+  SimDuration warmup = msec(200);
+  SimDuration measure = msec(800);
+};
+
+struct StreamResult {
+  ExitBreakdown exits;
+  double throughput_mbps = 0;
+  double packets_per_sec = 0;
+  double kicks_per_sec = 0;       // guest kick instructions executed
+  double guest_irqs_per_sec = 0;  // interrupts taken through the guest IDT
+  std::int64_t rx_dropped = 0;
+};
+
+StreamResult run_stream(const StreamOptions& opts);
+
+// ---------------------------------------------------------------------------
+// Ping RTT (Fig. 7)
+// ---------------------------------------------------------------------------
+
+struct PingOptions {
+  Es2Config config;
+  int samples = 120;
+  SimDuration interval = msec(250);
+  std::uint64_t seed = 1;
+};
+
+struct PingResult {
+  Histogram rtt;                       // ns
+  std::vector<SimDuration> samples;    // Fig. 7 is a time series
+  std::int64_t lost = 0;
+};
+
+PingResult run_ping(const PingOptions& opts);
+
+// ---------------------------------------------------------------------------
+// Memcached (Fig. 8a)
+// ---------------------------------------------------------------------------
+
+struct MemcachedOptions {
+  Es2Config config;
+  int client_threads = 16;
+  int concurrency_per_thread = 16;  // 256 concurrent requests total
+  double get_ratio = 0.9;
+  int workers = 4;
+  std::uint64_t seed = 1;
+  SimDuration warmup = msec(300);
+  SimDuration measure = sec(1);
+};
+
+struct MemcachedResult {
+  double ops_per_sec = 0;
+  double throughput_mbps = 0;  // response bytes
+  Histogram latency;           // ns per op
+};
+
+MemcachedResult run_memcached(const MemcachedOptions& opts);
+
+// ---------------------------------------------------------------------------
+// Apache (Fig. 8b) and Httperf (Fig. 9)
+// ---------------------------------------------------------------------------
+
+struct ApacheOptions {
+  Es2Config config;
+  int concurrency = 16;
+  int workers = 8;
+  std::uint64_t seed = 1;
+  SimDuration warmup = msec(300);
+  SimDuration measure = sec(1);
+};
+
+struct ApacheResult {
+  double requests_per_sec = 0;
+  double throughput_mbps = 0;
+};
+
+ApacheResult run_apache(const ApacheOptions& opts);
+
+struct HttperfOptions {
+  Es2Config config;
+  double rate_per_sec = 1000;
+  SimDuration duration = sec(3);
+  std::uint64_t seed = 1;
+};
+
+struct HttperfResult {
+  double avg_connect_ms = 0;
+  double p99_connect_ms = 0;
+  std::int64_t established = 0;
+  std::int64_t retries = 0;
+};
+
+HttperfResult run_httperf(const HttperfOptions& opts);
+
+}  // namespace es2

@@ -1,0 +1,51 @@
+#include "harness/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "base/assert.h"
+
+namespace es2 {
+
+ParallelRunner::ParallelRunner(int threads) : threads_(threads) {
+  if (threads_ <= 0) {
+    threads_ = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads_ <= 0) threads_ = 1;
+  }
+}
+
+void ParallelRunner::run(std::vector<std::function<void()>> tasks) const {
+  if (tasks.empty()) return;
+  const int workers =
+      std::min<int>(threads_, static_cast<int>(tasks.size()));
+  if (workers <= 1) {
+    for (auto& task : tasks) task();
+    return;
+  }
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back([&tasks, &next] {
+      for (;;) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= tasks.size()) return;
+        tasks[i]();
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+}
+
+void parallel_for(int n, const std::function<void(int)>& fn, int threads) {
+  ES2_CHECK(n >= 0);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    tasks.push_back([i, &fn] { fn(i); });
+  }
+  ParallelRunner(threads).run(std::move(tasks));
+}
+
+}  // namespace es2

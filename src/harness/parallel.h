@@ -1,0 +1,33 @@
+// Parallel sweep runner.
+//
+// Each simulation is single-threaded and self-contained, so parameter
+// sweeps (quota values, packet sizes, request rates, configs) parallelize
+// perfectly: one task per scenario on a bounded thread pool. Results are
+// written into caller-owned slots, so ordering is deterministic no matter
+// how the pool schedules.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace es2 {
+
+class ParallelRunner {
+ public:
+  /// `threads` <= 0 uses the hardware concurrency.
+  explicit ParallelRunner(int threads = 0);
+
+  /// Runs all tasks to completion. Tasks must not touch shared mutable
+  /// state (each should build its own Simulator and write its own slot).
+  void run(std::vector<std::function<void()>> tasks) const;
+
+  int threads() const { return threads_; }
+
+ private:
+  int threads_;
+};
+
+/// Convenience: applies `fn(i)` for i in [0, n) in parallel.
+void parallel_for(int n, const std::function<void(int)>& fn, int threads = 0);
+
+}  // namespace es2

@@ -1,0 +1,65 @@
+#include "harness/testbed.h"
+
+#include "base/assert.h"
+#include "base/strings.h"
+
+namespace es2 {
+
+Testbed::Testbed(TestbedOptions options) : options_(std::move(options)) {
+  const TestbedOptions& o = options_;
+  ES2_CHECK(o.num_vms >= 1 && o.vcpus_per_vm >= 1);
+  ES2_CHECK(o.vhost_core >= 0 && o.vhost_core < o.host_cores);
+
+  sim_ = std::make_unique<Simulator>(o.seed);
+  host_ = std::make_unique<KvmHost>(*sim_, o.host_cores, o.costs);
+  es2_ = std::make_unique<Es2System>(*host_, o.config);
+
+  for (int v = 0; v < o.num_vms; ++v) {
+    std::vector<int> pins(static_cast<size_t>(o.vcpus_per_vm));
+    for (int j = 0; j < o.vcpus_per_vm; ++j) {
+      const int core = o.stack_vms ? j : v * o.vcpus_per_vm + j;
+      ES2_CHECK_MSG(core < o.host_cores, "VM pinning exceeds host cores");
+      pins[static_cast<size_t>(j)] = core;
+    }
+    Vm& vm = host_->create_vm(format("vm%d", v), pins, o.config.irq_mode());
+    vm.set_timer_hz(o.guest_timer_hz);
+    guests_.push_back(std::make_unique<GuestOs>(vm, o.guest_params));
+  }
+
+  // Only the tested VM (VM 0) gets a paravirtual network device.
+  link_ = std::make_unique<DuplexLink>(*sim_, o.link_gbps, o.link_latency);
+  peer_ = std::make_unique<PeerHost>(*sim_, link_->b_to_a);
+  peer_->attach_rx(link_->a_to_b);
+  worker_ = std::make_unique<VhostWorker>(*host_, "vhost-vm0", o.vhost_core);
+  backend_ = std::make_unique<VhostNetBackend>(host_->vm(0), *worker_,
+                                               link_->a_to_b, o.vhost_params);
+  link_->b_to_a.set_receiver(
+      [this](PacketPtr p) { backend_->receive_from_wire(std::move(p)); });
+  frontend_ = std::make_unique<VirtioNetFrontend>(*guests_[0], *backend_);
+  es2_->enable_for(host_->vm(0), *backend_);
+
+  if (o.cpu_burn) {
+    for (int v = 0; v < o.num_vms; ++v) {
+      for (int j = 0; j < o.vcpus_per_vm; ++j) {
+        burn_tasks_.push_back(
+            std::make_unique<CpuBurnTask>(*guests_[static_cast<size_t>(v)], j));
+        guests_[static_cast<size_t>(v)]->add_task(*burn_tasks_.back());
+      }
+    }
+  }
+}
+
+Testbed::~Testbed() = default;
+
+void Testbed::start() {
+  for (int v = 0; v < host_->num_vms(); ++v) host_->vm(v).start();
+}
+
+SimDuration Testbed::run_measured(SimDuration warmup, SimDuration measure) {
+  sim_->run_for(warmup);
+  for (int v = 0; v < host_->num_vms(); ++v) host_->vm(v).begin_stats_window();
+  sim_->run_for(measure);
+  return measure;
+}
+
+}  // namespace es2

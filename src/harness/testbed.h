@@ -1,0 +1,94 @@
+// Experiment testbed builder (paper §VI-A).
+//
+// Reconstructs the paper's setup: two x86 servers back-to-back over 40GbE;
+// the VM server has 8 cores (HT off) running KVM. Two canonical
+// topologies:
+//
+//  * micro  — one 1-vCPU VM on a dedicated core, its vhost worker on
+//    another core (quota selection, exit-rate experiments);
+//  * macro  — four 4-vCPU VMs time-sharing cores 0..3 (vCPU j of every VM
+//    pinned to core j, forcing vCPU stacking), a four-thread CPU-burn in
+//    every VM, the tested VM's vhost worker on core 4.
+//
+// The testbed owns the whole object graph; experiments add workload tasks.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "apps/burn.h"
+#include "es2/es2.h"
+#include "guest/guest_os.h"
+#include "guest/virtio_net.h"
+#include "net/link.h"
+#include "net/peer.h"
+#include "virtio/vhost.h"
+#include "vm/vm.h"
+
+namespace es2 {
+
+struct TestbedOptions {
+  Es2Config config;
+  std::uint64_t seed = 1;
+  int host_cores = 8;
+  int num_vms = 1;
+  int vcpus_per_vm = 1;
+  /// true: vCPU j of every VM pins to core j (macro oversubscription);
+  /// false: VM v's vCPU j pins to core v*vcpus+j (dedicated cores).
+  bool stack_vms = false;
+  /// Core for the tested VM's vhost worker.
+  int vhost_core = 4;
+  /// Add one lowest-priority burn task per vCPU in every VM.
+  bool cpu_burn = true;
+  double link_gbps = 40.0;
+  SimDuration link_latency = 1500;  // ns: cable + NIC + host stack entry
+  CostModel costs;
+  GuestParams guest_params;
+  VhostNetParams vhost_params;
+  int guest_timer_hz = 250;
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedOptions options);
+  ~Testbed();
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  Simulator& sim() { return *sim_; }
+  KvmHost& host() { return *host_; }
+  Es2System& es2() { return *es2_; }
+  const TestbedOptions& options() const { return options_; }
+
+  /// The tested VM is always VM 0 (the only one with a network device).
+  Vm& tested_vm() { return host_->vm(0); }
+  GuestOs& guest(int vm = 0) { return *guests_[static_cast<size_t>(vm)]; }
+  VhostNetBackend& backend() { return *backend_; }
+  VirtioNetFrontend& frontend() { return *frontend_; }
+  PeerHost& peer() { return *peer_; }
+  VhostWorker& vhost_worker() { return *worker_; }
+  Link& vm_to_peer() { return link_->a_to_b; }
+  Link& peer_to_vm() { return link_->b_to_a; }
+
+  /// Starts every VM (vCPUs + guest timers).
+  void start();
+
+  /// Runs warmup, opens measurement windows, runs the measured span, and
+  /// returns the window length.
+  SimDuration run_measured(SimDuration warmup, SimDuration measure);
+
+ private:
+  TestbedOptions options_;
+  std::unique_ptr<Simulator> sim_;
+  std::unique_ptr<KvmHost> host_;
+  std::unique_ptr<Es2System> es2_;
+  std::vector<std::unique_ptr<GuestOs>> guests_;
+  std::unique_ptr<DuplexLink> link_;
+  std::unique_ptr<PeerHost> peer_;
+  std::unique_ptr<VhostWorker> worker_;
+  std::unique_ptr<VhostNetBackend> backend_;
+  std::unique_ptr<VirtioNetFrontend> frontend_;
+  std::vector<std::unique_ptr<CpuBurnTask>> burn_tasks_;
+};
+
+}  // namespace es2

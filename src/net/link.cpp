@@ -1,0 +1,32 @@
+#include "net/link.h"
+
+#include <algorithm>
+
+#include "base/assert.h"
+
+namespace es2 {
+
+Link::Link(Simulator& sim, double bandwidth_gbps, SimDuration latency)
+    : sim_(sim), bandwidth_bps_(bandwidth_gbps * 1e9), latency_(latency) {
+  ES2_CHECK(bandwidth_gbps > 0);
+  ES2_CHECK(latency >= 0);
+}
+
+SimDuration Link::serialization_delay(Bytes size) const {
+  const double ns = static_cast<double>(size) * 8.0 * 1e9 / bandwidth_bps_;
+  return std::max<SimDuration>(1, static_cast<SimDuration>(ns));
+}
+
+void Link::transmit(PacketPtr packet) {
+  ES2_CHECK_MSG(receiver_ != nullptr, "link has no receiver");
+  const SimTime start = std::max(sim_.now(), line_free_at_);
+  const SimTime done = start + serialization_delay(packet->wire_size);
+  line_free_at_ = done;
+  packets_.add(1);
+  bytes_.add(packet->wire_size);
+  sim_.at(done + latency_, [this, packet = std::move(packet)]() mutable {
+    receiver_(std::move(packet));
+  });
+}
+
+}  // namespace es2

@@ -1,0 +1,56 @@
+// Point-to-point link model (the back-to-back 40GbE cable of the paper's
+// testbed).
+//
+// The link serializes packets at `bandwidth_bps` and adds a fixed
+// propagation + NIC processing delay. The evaluation workloads are event-
+// path-bound, not wire-bound, so the link rarely saturates — but modeling
+// serialization keeps large-message benches honest.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "stats/meters.h"
+
+namespace es2 {
+
+class Link {
+ public:
+  using Receiver = std::function<void(PacketPtr)>;
+
+  /// A unidirectional link; build two for a full-duplex cable.
+  Link(Simulator& sim, double bandwidth_gbps, SimDuration latency);
+
+  void set_receiver(Receiver receiver) { receiver_ = std::move(receiver); }
+
+  /// Queues a packet for transmission; delivery happens after
+  /// serialization + propagation.
+  void transmit(PacketPtr packet);
+
+  std::int64_t packets_sent() const { return packets_.value(); }
+  Bytes bytes_sent() const { return bytes_.value(); }
+
+ private:
+  SimDuration serialization_delay(Bytes size) const;
+
+  Simulator& sim_;
+  double bandwidth_bps_;
+  SimDuration latency_;
+  Receiver receiver_;
+  SimTime line_free_at_ = 0;  // when the serializer becomes idle
+  Counter packets_;
+  Counter bytes_;
+};
+
+/// Full-duplex cable: two independent directions.
+struct DuplexLink {
+  DuplexLink(Simulator& sim, double bandwidth_gbps, SimDuration latency)
+      : a_to_b(sim, bandwidth_gbps, latency),
+        b_to_a(sim, bandwidth_gbps, latency) {}
+  Link a_to_b;
+  Link b_to_a;
+};
+
+}  // namespace es2

@@ -1,0 +1,53 @@
+// Network packet model.
+//
+// Packets are metadata-only (no payload bytes are simulated): enough for
+// the mini TCP/UDP stacks and the workload generators to reproduce the
+// traffic patterns the paper's benchmarks create — streams with ACK
+// clocking, request/response exchanges, and connection handshakes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "base/units.h"
+
+namespace es2 {
+
+inline constexpr Bytes kMtu = 1500;          // paper: default MTU
+inline constexpr Bytes kTcpUdpHeader = 54;   // eth + IP + TCP-ish framing
+
+enum class Proto : std::uint8_t { kTcp, kUdp, kIcmp };
+
+/// TCP-ish control flags; meaningful only when proto == kTcp.
+struct TcpFlags {
+  bool syn = false;
+  bool ack = false;
+  bool fin = false;
+};
+
+struct Packet {
+  Proto proto = Proto::kUdp;
+  std::uint64_t flow = 0;       // connection / stream id
+  Bytes wire_size = 0;          // bytes on the wire (headers included)
+  Bytes payload = 0;            // application payload bytes
+  std::uint64_t seq = 0;        // cumulative byte sequence (TCP) or pkt no.
+  std::uint64_t ack_seq = 0;    // cumulative ACK (TCP)
+  TcpFlags flags;
+  SimTime sent_at = 0;          // stamped by the sender for RTT metrics
+  std::uint64_t probe_id = 0;   // echo/request correlation (ICMP, RPC)
+};
+
+using PacketPtr = std::shared_ptr<const Packet>;
+
+inline PacketPtr make_packet(Packet p) {
+  return std::make_shared<const Packet>(std::move(p));
+}
+
+/// Number of MTU-sized segments a message of `bytes` payload occupies.
+constexpr int segments_for(Bytes bytes) {
+  const Bytes per_seg = kMtu - kTcpUdpHeader;
+  if (bytes <= 0) return 1;
+  return static_cast<int>((bytes + per_seg - 1) / per_seg);
+}
+
+}  // namespace es2

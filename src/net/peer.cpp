@@ -1,0 +1,40 @@
+#include "net/peer.h"
+
+#include "base/assert.h"
+
+namespace es2 {
+
+PeerHost::PeerHost(Simulator& sim, Link& to_vm, SimDuration proc_delay)
+    : sim_(sim), to_vm_(to_vm), proc_delay_(proc_delay) {}
+
+void PeerHost::attach_rx(Link& from_vm) {
+  from_vm.set_receiver([this](PacketPtr p) { on_receive(p); });
+}
+
+void PeerHost::register_flow(std::uint64_t flow, FlowHandler handler) {
+  flows_[flow] = std::move(handler);
+}
+
+void PeerHost::unregister_flow(std::uint64_t flow) { flows_.erase(flow); }
+
+void PeerHost::send(PacketPtr packet) {
+  send_after(proc_delay_, std::move(packet));
+}
+
+void PeerHost::send_after(SimDuration delay, PacketPtr packet) {
+  ES2_CHECK(delay >= 0);
+  sim_.after(delay, [this, packet = std::move(packet)]() mutable {
+    to_vm_.transmit(std::move(packet));
+  });
+}
+
+void PeerHost::on_receive(const PacketPtr& packet) {
+  const auto it = flows_.find(packet->flow);
+  if (it == flows_.end()) {
+    ++unrouted_;
+    return;
+  }
+  it->second(packet);
+}
+
+}  // namespace es2

@@ -1,0 +1,52 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+
+#include "base/assert.h"
+
+namespace es2 {
+
+void EventHandle::cancel() {
+  if (alive_ && *alive_) *alive_ = false;
+}
+
+bool EventHandle::pending() const { return alive_ && *alive_; }
+
+EventHandle EventQueue::schedule(SimTime when, std::function<void()> fn) {
+  ES2_CHECK_MSG(when >= 0, "cannot schedule before time 0");
+  auto alive = std::make_shared<bool>(true);
+  heap_.push_back(Entry{when, next_seq_++, std::move(fn), alive});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  return EventHandle(std::move(alive));
+}
+
+void EventQueue::skim() {
+  while (!heap_.empty() && !*heap_.front().alive) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+}
+
+bool EventQueue::has_next() {
+  skim();
+  return !heap_.empty();
+}
+
+SimTime EventQueue::next_time() {
+  skim();
+  ES2_CHECK_MSG(!heap_.empty(), "next_time on empty queue");
+  return heap_.front().when;
+}
+
+SimTime EventQueue::pop_and_run() {
+  skim();
+  ES2_CHECK_MSG(!heap_.empty(), "pop_and_run on empty queue");
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry entry = std::move(heap_.back());
+  heap_.pop_back();
+  *entry.alive = false;
+  entry.fn();
+  return entry.when;
+}
+
+}  // namespace es2

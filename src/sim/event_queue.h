@@ -1,0 +1,81 @@
+// Deterministic discrete-event queue.
+//
+// A binary heap of (time, sequence) keys: the sequence number breaks ties
+// in insertion order, which makes the simulation fully deterministic and
+// independent of allocator behaviour. Cancellation is O(1) lazy removal —
+// cancelled entries are dropped when they reach the heap top, which is the
+// right trade for this workload (preempted CPU segments cancel their
+// completion events constantly).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "base/units.h"
+
+namespace es2 {
+
+/// Handle for a scheduled event; cheap to copy, may outlive the event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancels the event if it has not fired yet. Safe to call repeatedly,
+  /// on an empty handle, or after the event has fired.
+  void cancel();
+
+  /// True if the event is still scheduled to fire.
+  bool pending() const;
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Schedules `fn` to run at absolute time `when`. Events at the same
+  /// instant fire in scheduling order.
+  EventHandle schedule(SimTime when, std::function<void()> fn);
+
+  /// True if a live (non-cancelled) event remains.
+  bool has_next();
+
+  /// Time of the earliest live event; `has_next()` must be true.
+  SimTime next_time();
+
+  /// Pops and runs the earliest live event, returning its time.
+  SimTime pop_and_run();
+
+  /// Heap entries including not-yet-skimmed cancelled ones.
+  size_t heap_size() const { return heap_.size(); }
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> alive;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Drops cancelled entries from the heap top.
+  void skim();
+
+  std::vector<Entry> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace es2

@@ -1,0 +1,75 @@
+#include "sim/simulator.h"
+
+#include "base/assert.h"
+
+namespace es2 {
+
+Simulator::Simulator(std::uint64_t seed) : seed_(seed) {}
+
+EventHandle Simulator::at(SimTime when, std::function<void()> fn) {
+  ES2_CHECK_MSG(when >= now_, "cannot schedule into the past");
+  return queue_.schedule(when, std::move(fn));
+}
+
+EventHandle Simulator::after(SimDuration delay, std::function<void()> fn) {
+  ES2_CHECK_MSG(delay >= 0, "negative delay");
+  return queue_.schedule(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulator::defer(std::function<void()> fn) {
+  return queue_.schedule(now_, std::move(fn));
+}
+
+std::uint64_t Simulator::run_until(SimTime deadline) {
+  std::uint64_t executed = 0;
+  while (queue_.has_next() && queue_.next_time() <= deadline) {
+    // Advance the clock BEFORE running the event, so callbacks observing
+    // now() (and deferring follow-up work) see the event's own timestamp.
+    now_ = queue_.next_time();
+    queue_.pop_and_run();
+    ++executed;
+  }
+  // Advance the clock to the deadline even if the queue ran dry, so that
+  // back-to-back run_for() calls measure contiguous wall spans.
+  if (now_ < deadline) now_ = deadline;
+  events_executed_ += executed;
+  return executed;
+}
+
+std::uint64_t Simulator::run_to_completion() {
+  std::uint64_t executed = 0;
+  while (queue_.has_next()) {
+    now_ = queue_.next_time();
+    queue_.pop_and_run();
+    ++executed;
+  }
+  events_executed_ += executed;
+  return executed;
+}
+
+PeriodicTimer::PeriodicTimer(Simulator& sim, SimDuration period,
+                             std::function<void()> fn)
+    : sim_(sim), period_(period), fn_(std::move(fn)) {
+  ES2_CHECK(period_ > 0);
+}
+
+void PeriodicTimer::start() {
+  if (running_) return;
+  running_ = true;
+  arm();
+}
+
+void PeriodicTimer::stop() {
+  running_ = false;
+  pending_.cancel();
+}
+
+void PeriodicTimer::arm() {
+  pending_ = sim_.after(period_, [this] {
+    if (!running_) return;
+    fn_();
+    if (running_) arm();
+  });
+}
+
+}  // namespace es2

@@ -1,0 +1,82 @@
+// The simulation kernel: a clock plus the event queue.
+//
+// Every model object holds a `Simulator&` and advances the world purely by
+// scheduling callbacks. One `Simulator` is one independent experiment; the
+// harness runs many of them concurrently on worker threads, which is safe
+// because a Simulator shares no mutable state with any other.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "base/rng.h"
+#include "base/units.h"
+#include "sim/event_queue.h"
+
+namespace es2 {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1);
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+  std::uint64_t seed() const { return seed_; }
+
+  /// Derives a named deterministic RNG stream for one component.
+  Rng make_rng(std::string_view label) const { return Rng::stream(seed_, label); }
+
+  /// Schedules `fn` at absolute time `when` (must be >= now()).
+  EventHandle at(SimTime when, std::function<void()> fn);
+
+  /// Schedules `fn` after `delay` (>= 0) from now.
+  EventHandle after(SimDuration delay, std::function<void()> fn);
+
+  /// Schedules `fn` to run at the current time, after already-queued
+  /// same-instant events (a "bottom half").
+  EventHandle defer(std::function<void()> fn);
+
+  /// Runs events until the queue empties or the clock passes `deadline`.
+  /// Returns the number of events executed.
+  std::uint64_t run_until(SimTime deadline);
+
+  /// Runs events for `span` from the current time.
+  std::uint64_t run_for(SimDuration span) { return run_until(now_ + span); }
+
+  /// Runs every remaining event (use only for tests with finite models).
+  std::uint64_t run_to_completion();
+
+  std::uint64_t events_executed() const { return events_executed_; }
+  EventQueue& queue() { return queue_; }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  std::uint64_t seed_;
+  std::uint64_t events_executed_ = 0;
+};
+
+/// Repeating timer helper built on Simulator::after.
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Simulator& sim, SimDuration period, std::function<void()> fn);
+  ~PeriodicTimer() { stop(); }
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  void start();
+  void stop();
+  bool running() const { return running_; }
+
+ private:
+  void arm();
+  Simulator& sim_;
+  SimDuration period_;
+  std::function<void()> fn_;
+  EventHandle pending_;
+  bool running_ = false;
+};
+
+}  // namespace es2

@@ -1,0 +1,117 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "base/assert.h"
+#include "base/strings.h"
+
+namespace es2 {
+
+Histogram::Histogram() : buckets_(kMagnitudes * kSubBuckets, 0) {}
+
+int Histogram::bucket_index(std::int64_t value) {
+  if (value < 0) value = 0;
+  if (value < kSubBuckets) return static_cast<int>(value);
+  const auto v = static_cast<std::uint64_t>(value);
+  const int msb = 63 - std::countl_zero(v);
+  const int magnitude = msb - kSubBucketBits + 1;
+  const auto sub = static_cast<int>(v >> magnitude) - kSubBuckets / 2;
+  // Magnitude group 0 covers [0, kSubBuckets); each later group adds
+  // kSubBuckets/2 buckets of width 2^magnitude.
+  int index = kSubBuckets + (magnitude - 1) * (kSubBuckets / 2) + sub;
+  const int last = kMagnitudes * kSubBuckets - 1;
+  return std::min(index, last);
+}
+
+std::int64_t Histogram::bucket_low(int index) {
+  if (index < kSubBuckets) return index;
+  const int rest = index - kSubBuckets;
+  const int magnitude = rest / (kSubBuckets / 2) + 1;
+  const int sub = rest % (kSubBuckets / 2) + kSubBuckets / 2;
+  return static_cast<std::int64_t>(sub) << magnitude;
+}
+
+std::int64_t Histogram::bucket_high(int index) {
+  if (index < kSubBuckets) return index + 1;
+  const int rest = index - kSubBuckets;
+  const int magnitude = rest / (kSubBuckets / 2) + 1;
+  const int sub = rest % (kSubBuckets / 2) + kSubBuckets / 2;
+  return static_cast<std::int64_t>(sub + 1) << magnitude;
+}
+
+void Histogram::record(std::int64_t value) { record_n(value, 1); }
+
+void Histogram::record_n(std::int64_t value, std::int64_t count) {
+  ES2_CHECK(count >= 0);
+  if (count == 0) return;
+  if (value < 0) value = 0;
+  buckets_[static_cast<size_t>(bucket_index(value))] += count;
+  if (count_ == 0 || value < min_) min_ = value;
+  max_ = std::max(max_, value);
+  count_ += count;
+  sum_ += static_cast<double>(value) * static_cast<double>(count);
+}
+
+std::int64_t Histogram::min() const { return count_ ? min_ : 0; }
+
+double Histogram::mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+std::int64_t Histogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  std::int64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    seen += buckets_[i];
+    if (static_cast<double>(seen) >= target) {
+      // Interpolate linearly within the bucket for smoother quantiles.
+      const auto idx = static_cast<int>(i);
+      const std::int64_t lo = bucket_low(idx);
+      const std::int64_t hi = std::min(bucket_high(idx), max_);
+      const double into = 1.0 - (static_cast<double>(seen) - target) /
+                                    static_cast<double>(buckets_[i]);
+      const auto v = lo + static_cast<std::int64_t>(
+                              static_cast<double>(hi - lo) * into);
+      return std::clamp(v, min_, max_);
+    }
+  }
+  return max_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  ES2_CHECK(buckets_.size() == other.buckets_.size());
+  if (other.count_ == 0) return;
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = 0;
+  max_ = 0;
+  sum_ = 0.0;
+}
+
+std::string Histogram::summary(const std::string& unit) const {
+  auto render = [&unit](std::int64_t v) -> std::string {
+    if (unit == "us") return format("%.1fus", static_cast<double>(v) / 1e3);
+    if (unit == "ms") return format("%.2fms", static_cast<double>(v) / 1e6);
+    return with_commas(v);
+  };
+  if (count_ == 0) return "(empty)";
+  return format("n=%s min=%s p50=%s p90=%s p99=%s max=%s mean=%s",
+                with_commas(count_).c_str(), render(min()).c_str(),
+                render(p50()).c_str(), render(p90()).c_str(),
+                render(p99()).c_str(), render(max()).c_str(),
+                render(static_cast<std::int64_t>(mean())).c_str());
+}
+
+}  // namespace es2

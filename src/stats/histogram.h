@@ -1,0 +1,55 @@
+// Log-bucketed latency histogram (HdrHistogram-style, simplified).
+//
+// Values (nanoseconds, bytes, counts …) are bucketed into power-of-two
+// magnitude groups each split into `kSubBuckets` linear sub-buckets, giving
+// a bounded relative error of 1/kSubBuckets across ten decades while using
+// a few KiB of memory. Quantile queries interpolate within the bucket.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace es2 {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void record(std::int64_t value);
+  void record_n(std::int64_t value, std::int64_t count);
+
+  std::int64_t count() const { return count_; }
+  std::int64_t min() const;
+  std::int64_t max() const { return max_; }
+  double mean() const;
+
+  /// Quantile in [0,1]; returns 0 on an empty histogram.
+  std::int64_t quantile(double q) const;
+  std::int64_t p50() const { return quantile(0.50); }
+  std::int64_t p90() const { return quantile(0.90); }
+  std::int64_t p99() const { return quantile(0.99); }
+
+  void merge(const Histogram& other);
+  void reset();
+
+  /// One-line summary with values rendered by `unit` ("us", "ms", raw).
+  std::string summary(const std::string& unit = "") const;
+
+ private:
+  static constexpr int kSubBucketBits = 5;  // 32 sub-buckets -> ~3% error
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kMagnitudes = 40;
+
+  static int bucket_index(std::int64_t value);
+  static std::int64_t bucket_low(int index);
+  static std::int64_t bucket_high(int index);
+
+  std::vector<std::int64_t> buckets_;
+  std::int64_t count_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace es2

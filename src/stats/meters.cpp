@@ -1,0 +1,28 @@
+#include "stats/meters.h"
+
+#include "base/assert.h"
+
+namespace es2 {
+
+void TimeWeighted::set(SimTime now, double value) {
+  if (!started_) {
+    origin_ = now;
+    last_change_ = now;
+    value_ = value;
+    started_ = true;
+    return;
+  }
+  ES2_CHECK_MSG(now >= last_change_, "TimeWeighted updates must be ordered");
+  integral_ += value_ * static_cast<double>(now - last_change_);
+  last_change_ = now;
+  value_ = value;
+}
+
+double TimeWeighted::average(SimTime now) const {
+  if (!started_ || now <= origin_) return value_;
+  const double integral =
+      integral_ + value_ * static_cast<double>(now - last_change_);
+  return integral / static_cast<double>(now - origin_);
+}
+
+}  // namespace es2

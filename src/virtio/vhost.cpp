@@ -1,0 +1,296 @@
+#include "virtio/vhost.h"
+
+#include "base/assert.h"
+#include "base/strings.h"
+
+namespace es2 {
+
+// ---------------------------------------------------------------------------
+// VhostWorker
+// ---------------------------------------------------------------------------
+
+VhostWorker::VhostWorker(KvmHost& host, std::string name, int pinned_core,
+                         SimDuration requeue_delay,
+                         SimDuration wakeup_latency_fast,
+                         SimDuration wakeup_latency_slow,
+                         double slow_wakeup_prob)
+    : host_(host),
+      thread_(host.sim(), std::move(name)),
+      requeue_delay_(requeue_delay),
+      wakeup_fast_(wakeup_latency_fast),
+      wakeup_slow_(wakeup_latency_slow),
+      slow_wakeup_prob_(slow_wakeup_prob),
+      rng_(host.sim().make_rng("vhost-worker/" + thread_.name())) {
+  thread_.set_main([this] { main_loop(); });
+  host_.sched().add(thread_, pinned_core);
+}
+
+void VhostWorker::activate(VqHandler& handler) {
+  if (handler.queued_) return;
+  handler.queued_ = true;
+  active_.push_back(&handler);
+  thread_.wake();
+}
+
+void VhostWorker::exec(Cycles cycles, std::function<void()> done) {
+  thread_.exec(host_.costs().ns(cycles), std::move(done));
+}
+
+void VhostWorker::main_loop() {
+  if (active_.empty()) {
+    was_sleeping_ = true;
+    thread_.block();
+    return;
+  }
+  // Service the first handler that is already eligible; handlers sitting
+  // out their quota-yield delay must not block others (the RX handler has
+  // to keep draining ingress while the TX handler polls).
+  const SimTime now = host_.sim().now();
+  size_t pick = 0;
+  bool found_ready = false;
+  for (size_t i = 0; i < active_.size(); ++i) {
+    if (active_[i]->ready_at_ <= now) {
+      pick = i;
+      found_ready = true;
+      break;
+    }
+  }
+  if (!found_ready) {
+    // All waiting: take the one ready soonest.
+    for (size_t i = 1; i < active_.size(); ++i) {
+      if (active_[i]->ready_at_ < active_[pick]->ready_at_) pick = i;
+    }
+  }
+  VqHandler* handler = active_[pick];
+  active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(pick));
+  handler->queued_ = false;
+  ++turns_;
+  // A handler that yielded at its quota is not eligible again until its
+  // round-robin turn comes back; with no other work the worker spins until
+  // then (busy polling consumes the core).
+  SimDuration wait = handler->ready_at_ > now ? handler->ready_at_ - now : 0;
+  if (was_sleeping_) {
+    was_sleeping_ = false;
+    if (rng_.bernoulli(slow_wakeup_prob_)) {
+      // Slow path: the worker lost the scheduling race (host softirq,
+      // timer tick, cache-cold migration). Exponential tail: rare wakeups
+      // stretch to several times the mean.
+      wait += static_cast<SimDuration>(
+          rng_.exponential(static_cast<double>(wakeup_slow_)));
+    } else {
+      wait += static_cast<SimDuration>(
+          rng_.uniform(wakeup_fast_ / 2, wakeup_fast_ * 3 / 2));
+    }
+  }
+  thread_.exec(wait + host_.costs().ns(kLoopOverhead), [this, handler] {
+    handler->service(*this, [this, handler](bool requeue) {
+      if (requeue) {
+        handler->ready_at_ = host_.sim().now() + requeue_delay_;
+        activate(*handler);
+      }
+      main_loop();
+    });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// TX handler — Algorithm 1 (quota = weight reproduces standard vhost)
+// ---------------------------------------------------------------------------
+
+class VhostNetBackend::TxHandler final : public VqHandler {
+ public:
+  explicit TxHandler(VhostNetBackend& backend)
+      : VqHandler(backend.vm().name() + "/tx"), backend_(backend) {}
+
+  void service(VhostWorker& worker,
+               std::function<void(bool)> done) override {
+    // Algorithm 1 line 8-10: entering a turn disables guest notifications.
+    if (backend_.tx_vq().notifications_enabled()) {
+      backend_.tx_vq().disable_notifications();
+    }
+    workload_ = 0;
+    poll(worker, std::move(done));
+  }
+
+ private:
+  void poll(VhostWorker& worker, std::function<void(bool)> done) {
+    Virtqueue& vq = backend_.tx_vq();
+    if (workload_ >= backend_.effective_quota()) {
+      // High load: stay in polling mode, wait for the next turn
+      // (Algorithm 1 line 15-17).
+      ++backend_.tx_quota_hits_;
+      done(true);
+      return;
+    }
+    auto entry = vq.pop_avail();
+    if (!entry) {
+      // Queue empty before the quota filled: the I/O load is low. Return
+      // to notification mode (Algorithm 1 line 19-20), handling the
+      // standard re-enable race.
+      if (vq.enable_notifications()) {
+        vq.disable_notifications();
+        poll(worker, std::move(done));
+        return;
+      }
+      ++backend_.tx_reverts_;
+      done(false);
+      return;
+    }
+    const Cycles cost = backend_.tx_cost(*entry);
+    worker.exec(cost, [this, &worker, entry = std::move(*entry),
+                       done = std::move(done)]() mutable {
+      backend_.tx_link_.transmit(entry.packet);
+      ++backend_.tx_packets_;
+      Virtqueue& vq = backend_.tx_vq();
+      vq.push_used(Virtqueue::Entry{nullptr, 0});
+      if (vq.interrupt_needed()) {
+        ++backend_.tx_irqs_;
+        backend_.raise_msi(backend_.tx_msi_);
+      }
+      ++workload_;
+      poll(worker, std::move(done));
+    });
+  }
+
+  VhostNetBackend& backend_;
+  int workload_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// RX handler
+// ---------------------------------------------------------------------------
+
+class VhostNetBackend::RxHandler final : public VqHandler {
+ public:
+  explicit RxHandler(VhostNetBackend& backend)
+      : VqHandler(backend.vm().name() + "/rx"), backend_(backend) {}
+
+  void service(VhostWorker& worker,
+               std::function<void(bool)> done) override {
+    if (backend_.rx_vq().notifications_enabled()) {
+      backend_.rx_vq().disable_notifications();
+    }
+    workload_ = 0;
+    poll(worker, std::move(done));
+  }
+
+ private:
+  void poll(VhostWorker& worker, std::function<void(bool)> done) {
+    Virtqueue& vq = backend_.rx_vq();
+    // Ingress draining is bounded by the vhost weight, NOT the ES2 quota:
+    // Algorithm 1 throttles guest *notifications*; wire traffic is not a
+    // guest I/O request.
+    if (workload_ >= backend_.params().weight) {
+      done(true);
+      return;
+    }
+    if (backend_.sock_buf_.empty()) {
+      // No more ingress traffic. Refill notifications stay disabled — the
+      // handler reactivates on wire arrivals, not guest kicks.
+      done(false);
+      return;
+    }
+    if (!vq.has_avail()) {
+      // Out of guest receive buffers: arm the refill notification so the
+      // guest's next buffer post kicks us awake (with the re-check race).
+      if (vq.enable_notifications()) {
+        vq.disable_notifications();
+        poll(worker, std::move(done));
+        return;
+      }
+      done(false);
+      return;
+    }
+    PacketPtr packet = backend_.sock_buf_.front();
+    backend_.sock_buf_.pop_front();
+    const Cycles cost = backend_.rx_cost(packet);
+    worker.exec(cost, [this, &worker, packet = std::move(packet),
+                       done = std::move(done)]() mutable {
+      Virtqueue& vq = backend_.rx_vq();
+      auto buffer = vq.pop_avail();
+      ES2_CHECK(buffer.has_value());
+      ++backend_.rx_packets_;
+      vq.push_used(Virtqueue::Entry{packet, packet->wire_size});
+      if (vq.interrupt_needed()) {
+        ++backend_.rx_irqs_;
+        backend_.raise_msi(backend_.rx_msi_);
+      }
+      ++workload_;
+      poll(worker, std::move(done));
+    });
+  }
+
+  VhostNetBackend& backend_;
+  int workload_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// VhostNetBackend
+// ---------------------------------------------------------------------------
+
+VhostNetBackend::VhostNetBackend(Vm& vm, VhostWorker& worker, Link& tx_link,
+                                 VhostNetParams params)
+    : vm_(vm),
+      worker_(worker),
+      tx_link_(tx_link),
+      params_(params),
+      tx_vq_(vm.name() + "/txq", params.vq_capacity),
+      rx_vq_(vm.name() + "/rxq", params.vq_capacity),
+      rng_(vm.host().sim().make_rng("vhost/" + vm.name())) {
+  tx_handler_ = std::make_unique<TxHandler>(*this);
+  rx_handler_ = std::make_unique<RxHandler>(*this);
+  // Default MSI identities: virtio-net queue vectors, guest affinity on
+  // vCPU 0, lowest-priority delivery (Linux apic_flat default).
+  tx_msi_ = MsiMessage{static_cast<Vector>(kFirstDeviceVector + 1), 0,
+                       DeliveryMode::kLowestPriority};
+  rx_msi_ = MsiMessage{static_cast<Vector>(kFirstDeviceVector + 2), 0,
+                       DeliveryMode::kLowestPriority};
+}
+
+VhostNetBackend::~VhostNetBackend() = default;
+
+void VhostNetBackend::set_poll_quota(int quota) { poll_quota_ = quota; }
+
+Cycles VhostNetBackend::jittered(Cycles c) {
+  if (params_.cost_jitter <= 0) return c;
+  const double f =
+      1.0 + params_.cost_jitter * (2.0 * rng_.next_double() - 1.0);
+  return static_cast<Cycles>(static_cast<double>(c) * f);
+}
+
+Cycles VhostNetBackend::tx_cost(const Virtqueue::Entry& e) {
+  const Bytes size = e.packet ? e.packet->wire_size : 0;
+  return jittered(params_.tx_per_packet +
+                  static_cast<Cycles>(params_.cycles_per_byte *
+                                      static_cast<double>(size)));
+}
+
+Cycles VhostNetBackend::rx_cost(const PacketPtr& p) {
+  return jittered(params_.rx_per_packet +
+                  static_cast<Cycles>(params_.cycles_per_byte *
+                                      static_cast<double>(p->wire_size)));
+}
+
+void VhostNetBackend::raise_msi(const MsiMessage& msi) {
+  if (msi_filter_ && !msi_filter_(msi)) return;  // coalesced
+  vm_.host().router().deliver_msi(vm_, msi);
+}
+
+void VhostNetBackend::raise_msi_now(const MsiMessage& msi) {
+  vm_.host().router().deliver_msi(vm_, msi);
+}
+
+void VhostNetBackend::notify_tx() { worker_.activate(*tx_handler_); }
+
+void VhostNetBackend::notify_rx() { worker_.activate(*rx_handler_); }
+
+void VhostNetBackend::receive_from_wire(PacketPtr packet) {
+  if (static_cast<int>(sock_buf_.size()) >= params_.sock_buffer) {
+    ++rx_dropped_;
+    return;
+  }
+  sock_buf_.push_back(std::move(packet));
+  worker_.activate(*rx_handler_);
+}
+
+}  // namespace es2

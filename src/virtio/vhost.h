@@ -1,0 +1,230 @@
+// vhost-net back-end: I/O worker thread, per-virtqueue handlers, device.
+//
+// Mirrors the structure the paper patches (§V-A): one in-kernel I/O thread
+// (`VhostWorker`) schedules per-virtqueue handlers. A handler is normally
+// asleep in *notification mode* — the guest's kick (an IO_INSTRUCTION VM
+// exit) activates it. The handler services its queue in turns; the
+// `quota` parameter implements the paper's Algorithm 1:
+//
+//   * an activated handler disables guest notifications and polls;
+//   * if it drains `quota` requests before the queue empties, the load is
+//     high: it re-queues itself *with notifications still disabled* —
+//     this is the non-exit polling mode;
+//   * if the queue empties first, the load is low: it re-enables
+//     notifications (with the standard vhost re-check race handling) and
+//     goes back to sleep — notification mode.
+//
+// Standard vhost behaviour is the degenerate case quota = vhost weight
+// (large): turns practically always end by draining the queue, so the
+// handler sleeps and every fresh request kicks. The ES2 Hybrid I/O
+// Handling component (src/es2) simply installs a small quota.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "base/rng.h"
+#include "net/link.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "virtio/virtqueue.h"
+#include "vm/cost_model.h"
+#include "vm/vm.h"
+
+namespace es2 {
+
+class VhostWorker;
+
+/// One schedulable unit of back-end work (a virtqueue handler).
+class VqHandler {
+ public:
+  explicit VqHandler(std::string name) : name_(std::move(name)) {}
+  virtual ~VqHandler() = default;
+
+  /// Runs one turn on the worker thread; must invoke `done(requeue)`
+  /// exactly once (possibly after several exec segments).
+  virtual void service(VhostWorker& worker,
+                       std::function<void(bool requeue)> done) = 0;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class VhostWorker;
+  std::string name_;
+  bool queued_ = false;
+  SimTime ready_at_ = 0;  // earliest re-service time after a quota yield
+};
+
+/// The vhost I/O thread: round-robins activated handlers.
+class VhostWorker {
+ public:
+  /// Cycles consumed by the worker loop per handler dispatch (dequeue,
+  /// bookkeeping, switching between handlers).
+  static constexpr Cycles kLoopOverhead = 900;
+
+  /// `requeue_delay` is the latency until a handler that yielded at its
+  /// quota gets its next turn (Algorithm 1 line 16: "descheduled and waits
+  /// for its next turn"): cond_resched + worker round-robin + re-reads.
+  /// While waiting with no other work the worker spins (polling burns its
+  /// core — exactly the cost the paper's quota bounds). This latency is
+  /// what lets a small quota keep pace with the guest — arrivals during
+  /// the wait refill the queue — i.e. what makes polling mode sticky
+  /// under high load.
+  ///
+  /// Waking the sleeping worker from a guest kick (eventfd signal ->
+  /// scheduler -> cache-cold dispatch) is usually fast
+  /// (`wakeup_latency_fast`), but host scheduling noise — softirqs, timer
+  /// ticks, runqueue contention — occasionally stretches it to tens of
+  /// microseconds (`wakeup_latency_slow`, probability `slow_wakeup_prob`).
+  /// The backlog that builds during a slow wakeup is what gives
+  /// Algorithm 1 a chance to reach its quota on the first turn and
+  /// bootstrap into polling mode; once bootstrapped, ring backpressure
+  /// keeps the queue non-empty and polling persists.
+  VhostWorker(KvmHost& host, std::string name, int pinned_core,
+              SimDuration requeue_delay = usec(20),
+              SimDuration wakeup_latency_fast = usec(2),
+              SimDuration wakeup_latency_slow = usec(40),
+              double slow_wakeup_prob = 0.06);
+  VhostWorker(const VhostWorker&) = delete;
+  VhostWorker& operator=(const VhostWorker&) = delete;
+
+  /// Queues a handler for service (idempotent) and wakes the thread.
+  void activate(VqHandler& handler);
+
+  /// Runs `cycles` of host work on the worker thread, then `done`
+  /// (handler helper).
+  void exec(Cycles cycles, std::function<void()> done);
+
+  KvmHost& host() { return host_; }
+  SimThread& thread() { return thread_; }
+  std::uint64_t turns() const { return turns_; }
+  SimDuration requeue_delay() const { return requeue_delay_; }
+
+ private:
+  void main_loop();
+
+  KvmHost& host_;
+  SimThread thread_;
+  SimDuration requeue_delay_;
+  SimDuration wakeup_fast_;
+  SimDuration wakeup_slow_;
+  double slow_wakeup_prob_;
+  Rng rng_;
+  bool was_sleeping_ = true;
+  std::deque<VqHandler*> active_;
+  std::uint64_t turns_ = 0;
+};
+
+/// Per-packet back-end cost knobs (host-side processing).
+struct VhostNetParams {
+  int vq_capacity = 256;
+  /// TX: tap sendmsg through the host bridge + NIC driver.
+  Cycles tx_per_packet = 6400;
+  /// RX: copy from the socket into guest receive buffers.
+  Cycles rx_per_packet = 6500;
+  /// Copy cost per payload byte (both directions).
+  double cycles_per_byte = 0.75;
+  /// Multiplicative per-packet cost jitter (uniform +/- fraction).
+  double cost_jitter = 0.08;
+  /// Max entries one TX/RX turn may process in notification mode — the
+  /// vhost weight; Algorithm 1's quota replaces it when smaller.
+  int weight = 256;
+  /// Host-side socket buffer (packets) for ingress traffic.
+  int sock_buffer = 4096;
+};
+
+/// vhost-net device instance for one VM: TX + RX virtqueues, their
+/// handlers, the MSI identities, and the wire hookup.
+class VhostNetBackend {
+ public:
+  VhostNetBackend(Vm& vm, VhostWorker& worker, Link& tx_link,
+                  VhostNetParams params = {});
+  ~VhostNetBackend();  // out of line: handler types are private/incomplete
+  VhostNetBackend(const VhostNetBackend&) = delete;
+  VhostNetBackend& operator=(const VhostNetBackend&) = delete;
+
+  Vm& vm() { return vm_; }
+  Virtqueue& tx_vq() { return tx_vq_; }
+  Virtqueue& rx_vq() { return rx_vq_; }
+  const VhostNetParams& params() const { return params_; }
+
+  /// The paper's poll_quota module parameter: turns the TX/RX handlers
+  /// into Algorithm 1 hybrid handlers. Values <= 0 restore standard vhost
+  /// (quota = weight).
+  void set_poll_quota(int quota);
+  int poll_quota() const { return poll_quota_; }
+
+  /// MSI messages the device raises (guest affinity encoded in dest).
+  void set_tx_msi(MsiMessage msi) { tx_msi_ = msi; }
+  void set_rx_msi(MsiMessage msi) { rx_msi_ = msi; }
+  const MsiMessage& tx_msi() const { return tx_msi_; }
+  const MsiMessage& rx_msi() const { return rx_msi_; }
+
+  /// Optional MSI interception for related-work baselines (interrupt
+  /// coalescing): return false to swallow the interrupt — the filter
+  /// becomes responsible for raising it later via `raise_msi_now`.
+  using MsiFilter = std::function<bool(const MsiMessage&)>;
+  void set_msi_filter(MsiFilter filter) { msi_filter_ = std::move(filter); }
+
+  /// Raises an MSI immediately, bypassing the filter (used by coalescers
+  /// when their batch/timeout fires).
+  void raise_msi_now(const MsiMessage& msi);
+
+  // --- guest-facing (ioeventfd side of the kick) -------------------------
+  void notify_tx();
+  void notify_rx();
+
+  // --- wire-facing --------------------------------------------------------
+  void receive_from_wire(PacketPtr packet);
+
+  std::int64_t rx_dropped() const { return rx_dropped_; }
+  std::int64_t tx_packets() const { return tx_packets_; }
+  std::int64_t rx_packets() const { return rx_packets_; }
+  std::int64_t tx_irqs() const { return tx_irqs_; }
+  std::int64_t rx_irqs() const { return rx_irqs_; }
+  /// Turns that ended by re-entering notification mode (queue drained
+  /// before the quota filled) vs. by hitting the quota (stay polling).
+  std::int64_t tx_mode_reverts() const { return tx_reverts_; }
+  std::int64_t tx_quota_hits() const { return tx_quota_hits_; }
+
+ private:
+  class TxHandler;
+  class RxHandler;
+  friend class TxHandler;
+  friend class RxHandler;
+
+  Cycles tx_cost(const Virtqueue::Entry& e);
+  Cycles rx_cost(const PacketPtr& p);
+  Cycles jittered(Cycles c);
+  void raise_msi(const MsiMessage& msi);
+  int effective_quota() const {
+    return poll_quota_ > 0 ? poll_quota_ : params_.weight;
+  }
+
+  Vm& vm_;
+  VhostWorker& worker_;
+  Link& tx_link_;
+  VhostNetParams params_;
+  int poll_quota_ = 0;
+  Virtqueue tx_vq_;
+  Virtqueue rx_vq_;
+  std::unique_ptr<TxHandler> tx_handler_;
+  std::unique_ptr<RxHandler> rx_handler_;
+  std::deque<PacketPtr> sock_buf_;
+  MsiMessage tx_msi_;
+  MsiMessage rx_msi_;
+  MsiFilter msi_filter_;
+  Rng rng_;
+  std::int64_t rx_dropped_ = 0;
+  std::int64_t tx_packets_ = 0;
+  std::int64_t rx_packets_ = 0;
+  std::int64_t tx_irqs_ = 0;
+  std::int64_t rx_irqs_ = 0;
+  std::int64_t tx_reverts_ = 0;
+  std::int64_t tx_quota_hits_ = 0;
+};
+
+}  // namespace es2

@@ -1,0 +1,67 @@
+#include "virtio/virtqueue.h"
+
+#include "base/assert.h"
+
+namespace es2 {
+
+namespace {
+/// vring_need_event() from the virtio spec: fire iff `new_idx` crosses
+/// `event + 1`, given the previous index `old_idx`.
+bool need_event(std::int64_t event, std::int64_t new_idx, std::int64_t old_idx) {
+  return (new_idx - event - 1) < (new_idx - old_idx) && (new_idx - old_idx) > 0;
+}
+}  // namespace
+
+Virtqueue::Virtqueue(std::string name, int capacity)
+    : name_(std::move(name)), capacity_(capacity) {
+  ES2_CHECK_MSG(capacity_ > 0, "virtqueue capacity must be positive");
+}
+
+bool Virtqueue::add_avail(Entry entry) {
+  if (free_slots() <= 0) return false;
+  avail_.push_back(std::move(entry));
+  ++avail_idx_;
+  return true;
+}
+
+bool Virtqueue::kick_needed() const {
+  if (!notifications_enabled_) return false;
+  return need_event(avail_event_, avail_idx_, avail_idx_ - 1);
+}
+
+std::optional<Virtqueue::Entry> Virtqueue::pop_avail() {
+  if (avail_.empty()) return std::nullopt;
+  Entry entry = std::move(avail_.front());
+  avail_.pop_front();
+  ++in_flight_;
+  return entry;
+}
+
+void Virtqueue::push_used(Entry entry) {
+  ES2_CHECK_MSG(in_flight_ > 0, "push_used without a popped descriptor");
+  --in_flight_;
+  used_.push_back(std::move(entry));
+  ++used_idx_;
+}
+
+bool Virtqueue::interrupt_needed() const {
+  if (!interrupts_enabled_) return false;
+  return need_event(used_event_, used_idx_, used_idx_ - 1);
+}
+
+std::optional<Virtqueue::Entry> Virtqueue::pop_used() {
+  if (used_.empty()) return std::nullopt;
+  Entry entry = std::move(used_.front());
+  used_.pop_front();
+  return entry;
+}
+
+bool Virtqueue::enable_notifications() {
+  notifications_enabled_ = true;
+  avail_event_ = avail_idx_;
+  // vhost re-check: work may have been added between the last empty poll
+  // and the re-enable.
+  return has_avail();
+}
+
+}  // namespace es2

@@ -1,0 +1,117 @@
+// Split virtqueue with VIRTIO_RING_F_EVENT_IDX notification suppression.
+//
+// The shared-memory channel between the guest's virtio-net front-end and
+// the host's vhost-net back-end (paper §V-A). What matters for the event
+// path is the *notification protocol*, which is modeled faithfully:
+//
+//  * guest->host kicks are suppressed via the avail_event index / flags:
+//    the guest only executes the (trapping) kick instruction when its new
+//    avail index crosses the host's advertised event index — this is the
+//    field ES2 manipulates to "permanently disable the notification
+//    mechanism in the polling mode";
+//  * host->guest interrupts are symmetrically suppressed via used_event,
+//    which is how the guest's NAPI disables device interrupts while
+//    polling.
+//
+// Descriptor accounting is real: a fixed ring capacity is shared between
+// guest-posted (avail), host-owned (in flight) and completed (used)
+// entries, so backpressure — a full TX ring stalling the guest — emerges
+// naturally, which the hybrid polling results depend on.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "base/units.h"
+#include "net/packet.h"
+#include "stats/meters.h"
+
+namespace es2 {
+
+class Virtqueue {
+ public:
+  struct Entry {
+    PacketPtr packet;  // null for empty (receive) buffers
+    Bytes len = 0;
+  };
+
+  Virtqueue(std::string name, int capacity);
+
+  const std::string& name() const { return name_; }
+  int capacity() const { return capacity_; }
+
+  // --- guest-side API ----------------------------------------------------
+
+  /// Free descriptor slots available to the guest.
+  int free_slots() const {
+    return capacity_ - avail_count() - in_flight_ - used_count();
+  }
+
+  /// Posts a buffer; returns false if the ring is full.
+  bool add_avail(Entry entry);
+
+  /// Must be called right after a successful add_avail: true if the guest
+  /// must notify the host (event-idx crossing semantics).
+  bool kick_needed() const;
+
+  /// Completed entries ready for the guest.
+  int used_count() const { return static_cast<int>(used_.size()); }
+  std::optional<Entry> pop_used();
+
+  /// Guest-side interrupt (call) suppression, used by NAPI.
+  void enable_interrupts() {
+    interrupts_enabled_ = true;
+    used_event_ = used_idx_;
+  }
+  void disable_interrupts() { interrupts_enabled_ = false; }
+  bool interrupts_enabled() const { return interrupts_enabled_; }
+
+  // --- host-side API -----------------------------------------------------
+
+  int avail_count() const { return static_cast<int>(avail_.size()); }
+  bool has_avail() const { return !avail_.empty(); }
+
+  /// Takes one guest-posted buffer for processing.
+  std::optional<Entry> pop_avail();
+
+  /// Completes an entry back to the guest.
+  void push_used(Entry entry);
+
+  /// Must be called right after push_used: true if the host must raise the
+  /// guest interrupt (event-idx crossing semantics).
+  bool interrupt_needed() const;
+
+  /// Host-side kick suppression. `enable_notifications` returns true if
+  /// new work raced in and the host must re-check the queue (the standard
+  /// vhost re-check after re-enable).
+  bool enable_notifications();
+  void disable_notifications() { notifications_enabled_ = false; }
+  bool notifications_enabled() const { return notifications_enabled_; }
+
+  // --- statistics ---------------------------------------------------------
+
+  std::int64_t total_added() const { return avail_idx_; }
+  std::int64_t total_used() const { return used_idx_; }
+  int in_flight() const { return in_flight_; }
+
+ private:
+  std::string name_;
+  int capacity_;
+  std::deque<Entry> avail_;
+  std::deque<Entry> used_;
+  int in_flight_ = 0;
+
+  // Guest->host notification state (host-written, guest-read).
+  bool notifications_enabled_ = true;
+  std::int64_t avail_idx_ = 0;    // total entries the guest has posted
+  std::int64_t avail_event_ = 0;  // host: "kick me when you cross this"
+
+  // Host->guest interrupt state (guest-written, host-read).
+  bool interrupts_enabled_ = true;
+  std::int64_t used_idx_ = 0;     // total entries the host has completed
+  std::int64_t used_event_ = 0;
+};
+
+}  // namespace es2

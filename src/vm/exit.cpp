@@ -1,0 +1,90 @@
+#include "vm/exit.h"
+
+#include "base/assert.h"
+#include "base/strings.h"
+
+namespace es2 {
+
+const char* exit_reason_name(ExitReason reason) {
+  switch (reason) {
+    case ExitReason::kExternalInterrupt: return "external_interrupt";
+    case ExitReason::kApicAccess: return "apic_access";
+    case ExitReason::kIoInstruction: return "io_instruction";
+    case ExitReason::kHlt: return "hlt";
+    case ExitReason::kEptViolation: return "ept_violation";
+    case ExitReason::kPendingInterrupt: return "pending_interrupt";
+    case ExitReason::kMsrAccess: return "msr_access";
+    case ExitReason::kOther: return "other";
+    case ExitReason::kCount: break;
+  }
+  ES2_UNREACHABLE("bad exit reason");
+}
+
+bool is_other_bucket(ExitReason reason) {
+  switch (reason) {
+    case ExitReason::kExternalInterrupt:
+    case ExitReason::kApicAccess:
+    case ExitReason::kIoInstruction:
+      return false;
+    default:
+      return true;
+  }
+}
+
+void ExitStats::begin_window(SimTime now) {
+  window_start_ = now;
+  window_base_ = counts_;
+  window_total_base_ = total_;
+  spans_.reset();
+}
+
+double ExitStats::rate(ExitReason reason, SimTime now) const {
+  const SimDuration w = window(now);
+  if (w <= 0) return 0.0;
+  return static_cast<double>(count(reason)) / to_seconds(w);
+}
+
+double ExitStats::total_rate(SimTime now) const {
+  const SimDuration w = window(now);
+  if (w <= 0) return 0.0;
+  return static_cast<double>(total()) / to_seconds(w);
+}
+
+double ExitStats::others_rate(SimTime now) const {
+  const SimDuration w = window(now);
+  if (w <= 0) return 0.0;
+  std::int64_t others = 0;
+  for (int i = 0; i < kNumExitReasons; ++i) {
+    const auto reason = static_cast<ExitReason>(i);
+    if (is_other_bucket(reason)) others += count(reason);
+  }
+  return static_cast<double>(others) / to_seconds(w);
+}
+
+void ExitStats::merge(const ExitStats& other) {
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+    window_base_[i] += other.window_base_[i];
+  }
+  total_ += other.total_;
+  window_total_base_ += other.window_total_base_;
+  // Keep the earliest window start so rates stay conservative.
+  if (other.window_start_ < window_start_ || window_start_ == 0) {
+    window_start_ = other.window_start_;
+  }
+  spans_.add(other.spans_.guest_time(), true);
+  spans_.add(other.spans_.host_time(), false);
+}
+
+std::string ExitStats::summary(SimTime now) const {
+  std::string out = format("exits/s: total=%.0f", total_rate(now));
+  for (int i = 0; i < kNumExitReasons; ++i) {
+    const auto reason = static_cast<ExitReason>(i);
+    if (count(reason) == 0) continue;
+    out += format(" %s=%.0f", exit_reason_name(reason), rate(reason, now));
+  }
+  out += format(" TIG=%.1f%%", tig_percent());
+  return out;
+}
+
+}  // namespace es2

@@ -1,0 +1,29 @@
+// Interface between the virtual CPU layer and the guest OS model.
+//
+// The VM layer is guest-agnostic (the paper's "no guest modification"
+// property holds by construction: nothing in src/es2 touches anything
+// behind this interface). A guest implementation drives execution by
+// calling back into `Vcpu` primitives (guest_exec / guest_io_kick /
+// guest_eoi / guest_halt / irq_done).
+#pragma once
+
+#include "apic/vectors.h"
+
+namespace es2 {
+
+class GuestCpu {
+ public:
+  virtual ~GuestCpu() = default;
+
+  /// The vCPU is in guest mode with no current activity: the guest decides
+  /// what to run (task work, idle HLT, …) by invoking Vcpu primitives. Must
+  /// synchronously start some activity.
+  virtual void run(int vcpu_index) = 0;
+
+  /// An interrupt was delivered through the guest IDT on this vCPU. The
+  /// guest runs its handler (hardirq -> EOI -> softirq) and finally calls
+  /// Vcpu::irq_done().
+  virtual void take_interrupt(int vcpu_index, Vector vector) = 0;
+};
+
+}  // namespace es2

@@ -1,0 +1,35 @@
+#include "vm/irq_router.h"
+
+#include "base/assert.h"
+#include "vm/vm.h"
+
+namespace es2 {
+
+void IrqRouter::deliver_msi(Vm& vm, const MsiMessage& msg) {
+  ES2_CHECK(vm.num_vcpus() > 0);
+  int dest = msg.dest_vcpu;
+
+  // ES2 interception point (kvm_set_msi_irq). Only device vectors are
+  // offered for redirection: timer/IPI vectors are generated for specific
+  // vCPUs and redirecting them could crash the guest.
+  if (interceptor_ && is_device_vector(msg.vector)) {
+    const int redirect = interceptor_(vm, msg);
+    if (redirect >= 0) {
+      ES2_CHECK(redirect < vm.num_vcpus());
+      if (redirect != dest) ++redirected_;
+      dest = redirect;
+    }
+  } else if (msg.mode == DeliveryMode::kLowestPriority && vm.num_vcpus() > 1) {
+    // Without ES2, lowest-priority arbitration follows the guest affinity
+    // hint in the MSI address; hardware may rotate among equal-priority
+    // candidates, but KVM's implementation keeps the programmed target.
+    dest = msg.dest_vcpu;
+  }
+
+  ES2_CHECK_MSG(dest >= 0 && dest < vm.num_vcpus(),
+                "MSI destination out of range");
+  ++delivered_;
+  vm.vcpu(dest).deliver_interrupt(msg.vector);
+}
+
+}  // namespace es2

@@ -1,0 +1,47 @@
+// MSI interrupt routing — the kvm_set_msi_irq equivalent.
+//
+// Devices (vhost-net backends) raise MSI/MSI-X interrupts toward a VM.
+// The router resolves the destination vCPU from the message (the guest's
+// affinity setting) and hands the vector to that vCPU's delivery mechanism.
+//
+// This is exactly where the paper's ES2 hooks in (§V-C): an interceptor may
+// rewrite the destination of *device* interrupts before resolution. The
+// router enforces the safety rule itself: non-device vectors (timer, IPIs)
+// are never offered to the interceptor.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "apic/vectors.h"
+
+namespace es2 {
+
+class Vm;
+
+class IrqRouter {
+ public:
+  /// Returns the new destination vCPU index, or a negative value to keep
+  /// the message's own destination.
+  using Interceptor = std::function<int(Vm&, const MsiMessage&)>;
+
+  void set_interceptor(Interceptor interceptor) {
+    interceptor_ = std::move(interceptor);
+  }
+  bool has_interceptor() const { return static_cast<bool>(interceptor_); }
+
+  /// Routes one MSI to `vm`. Applies the interceptor (device vectors only),
+  /// resolves lowest-priority arbitration, and delivers.
+  void deliver_msi(Vm& vm, const MsiMessage& msg);
+
+  std::int64_t delivered() const { return delivered_; }
+  std::int64_t redirected() const { return redirected_; }
+
+ private:
+  Interceptor interceptor_;
+  std::int64_t delivered_ = 0;
+  std::int64_t redirected_ = 0;
+  std::uint64_t lowest_prio_rr_ = 0;
+};
+
+}  // namespace es2

@@ -1,0 +1,84 @@
+#include "vm/vm.h"
+
+#include "base/assert.h"
+
+namespace es2 {
+
+Vm::Vm(KvmHost& host, int id, std::string name, std::vector<int> pinned_cores,
+       InterruptVirtMode irq_mode)
+    : host_(host), id_(id), name_(std::move(name)), irq_mode_(irq_mode) {
+  ES2_CHECK_MSG(!pinned_cores.empty(), "a VM needs at least one vCPU");
+  vcpus_.reserve(pinned_cores.size());
+  for (size_t i = 0; i < pinned_cores.size(); ++i) {
+    vcpus_.push_back(
+        std::make_unique<Vcpu>(*this, static_cast<int>(i), pinned_cores[i]));
+  }
+  timer_events_.resize(vcpus_.size());
+}
+
+Vcpu& Vm::vcpu(int i) {
+  ES2_CHECK(i >= 0 && i < num_vcpus());
+  return *vcpus_[static_cast<size_t>(i)];
+}
+
+GuestCpu& Vm::guest() {
+  ES2_CHECK_MSG(guest_ != nullptr, "VM has no guest OS bound");
+  return *guest_;
+}
+
+void Vm::start() {
+  ES2_CHECK_MSG(guest_ != nullptr, "bind a guest before starting the VM");
+  for (auto& vcpu : vcpus_) vcpu->start();
+  if (timer_hz_ > 0) {
+    for (int i = 0; i < num_vcpus(); ++i) arm_guest_timer(i);
+  }
+}
+
+void Vm::arm_guest_timer(int vcpu_index) {
+  const SimDuration period = kSecond / timer_hz_;
+  // Stagger per-vCPU timers like real LAPIC timers drift apart.
+  const SimDuration phase =
+      period * (vcpu_index + 1) / (num_vcpus() + 1);
+  timer_events_[static_cast<size_t>(vcpu_index)] =
+      host_.sim().after(phase, [this, vcpu_index, period] {
+        // The guest timer is a per-vCPU interrupt: KVM injects it directly
+        // at its affine vCPU; it never passes the MSI router, so ES2
+        // redirection can never touch it (paper §V-C).
+        auto tick = std::make_shared<std::function<void()>>();
+        *tick = [this, vcpu_index, period, tick] {
+          vcpu(vcpu_index).deliver_interrupt(kLocalTimerVector);
+          timer_events_[static_cast<size_t>(vcpu_index)] =
+              host_.sim().after(period, *tick);
+        };
+        (*tick)();
+      });
+}
+
+void Vm::begin_stats_window() {
+  const SimTime now = host_.sim().now();
+  for (auto& vcpu : vcpus_) vcpu->stats().begin_window(now);
+}
+
+ExitStats Vm::aggregate_stats() const {
+  ExitStats total;
+  for (const auto& vcpu : vcpus_) total.merge(vcpu->stats());
+  return total;
+}
+
+KvmHost::KvmHost(Simulator& sim, int num_cores, CostModel costs,
+                 CfsParams cfs_params)
+    : sim_(sim), costs_(costs), sched_(sim, num_cores, cfs_params) {}
+
+Vm& KvmHost::create_vm(std::string name, std::vector<int> pinned_cores,
+                       InterruptVirtMode irq_mode) {
+  vms_.push_back(std::make_unique<Vm>(*this, num_vms(), std::move(name),
+                                      std::move(pinned_cores), irq_mode));
+  return *vms_.back();
+}
+
+Vm& KvmHost::vm(int i) {
+  ES2_CHECK(i >= 0 && i < num_vms());
+  return *vms_[static_cast<size_t>(i)];
+}
+
+}  // namespace es2

@@ -1,0 +1,95 @@
+// Virtual machine and host containers.
+//
+// `KvmHost` is the hypervisor-side world: the physical cores + CFS
+// scheduler, the cycle-cost model, the MSI router, and the VMs. `Vm` groups
+// vCPUs, the guest-OS binding, and the per-guest LAPIC timer emulation.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/cfs.h"
+#include "sim/simulator.h"
+#include "vm/cost_model.h"
+#include "vm/guest_cpu.h"
+#include "vm/irq_router.h"
+#include "vm/vcpu.h"
+
+namespace es2 {
+
+class KvmHost;
+
+class Vm {
+ public:
+  /// `pinned_cores[i]` pins vCPU i (-1 leaves it migratable).
+  Vm(KvmHost& host, int id, std::string name, std::vector<int> pinned_cores,
+     InterruptVirtMode irq_mode);
+  Vm(const Vm&) = delete;
+  Vm& operator=(const Vm&) = delete;
+
+  int id() const { return id_; }
+  const std::string& name() const { return name_; }
+  KvmHost& host() { return host_; }
+  InterruptVirtMode irq_mode() const { return irq_mode_; }
+
+  int num_vcpus() const { return static_cast<int>(vcpus_.size()); }
+  Vcpu& vcpu(int i);
+
+  /// Binds the guest OS model. Must happen before start().
+  void set_guest(GuestCpu* guest) { guest_ = guest; }
+  GuestCpu& guest();
+
+  /// Guest LAPIC timer frequency (0 disables). Default 250 Hz, like a
+  /// CONFIG_HZ_250 Linux guest.
+  void set_timer_hz(int hz) { timer_hz_ = hz; }
+
+  /// Starts all vCPUs and the guest timer emulation.
+  void start();
+
+  /// Opens a fresh measurement window on every vCPU (post-warmup).
+  void begin_stats_window();
+
+  /// Sum of all vCPU exit statistics.
+  ExitStats aggregate_stats() const;
+
+ private:
+  void arm_guest_timer(int vcpu_index);
+
+  KvmHost& host_;
+  int id_;
+  std::string name_;
+  InterruptVirtMode irq_mode_;
+  GuestCpu* guest_ = nullptr;
+  std::vector<std::unique_ptr<Vcpu>> vcpus_;
+  int timer_hz_ = 250;
+  std::vector<EventHandle> timer_events_;
+};
+
+class KvmHost {
+ public:
+  KvmHost(Simulator& sim, int num_cores, CostModel costs = {},
+          CfsParams cfs_params = {});
+  KvmHost(const KvmHost&) = delete;
+  KvmHost& operator=(const KvmHost&) = delete;
+
+  Simulator& sim() { return sim_; }
+  CfsScheduler& sched() { return sched_; }
+  const CostModel& costs() const { return costs_; }
+  IrqRouter& router() { return router_; }
+
+  Vm& create_vm(std::string name, std::vector<int> pinned_cores,
+                InterruptVirtMode irq_mode);
+
+  int num_vms() const { return static_cast<int>(vms_.size()); }
+  Vm& vm(int i);
+
+ private:
+  Simulator& sim_;
+  CostModel costs_;
+  CfsScheduler sched_;
+  IrqRouter router_;
+  std::vector<std::unique_ptr<Vm>> vms_;
+};
+
+}  // namespace es2

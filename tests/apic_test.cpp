@@ -1,0 +1,176 @@
+// Unit tests for interrupt hardware models: bitmaps, emulated LAPIC,
+// vAPIC page + posted-interrupt descriptor, vector-space rules.
+#include <gtest/gtest.h>
+
+#include "apic/irr.h"
+#include "apic/lapic.h"
+#include "apic/vapic.h"
+#include "apic/vectors.h"
+
+namespace es2 {
+namespace {
+
+TEST(IrqBitmap, SetTestClear) {
+  IrqBitmap b;
+  EXPECT_FALSE(b.any());
+  b.set(0x33);
+  EXPECT_TRUE(b.test(0x33));
+  EXPECT_TRUE(b.any());
+  b.clear(0x33);
+  EXPECT_FALSE(b.any());
+}
+
+TEST(IrqBitmap, HighestAcrossWords) {
+  IrqBitmap b;
+  EXPECT_EQ(b.highest(), -1);
+  b.set(3);
+  b.set(0x40);   // second word
+  b.set(0xFF);   // top of fourth word
+  EXPECT_EQ(b.highest(), 0xFF);
+  b.clear(0xFF);
+  EXPECT_EQ(b.highest(), 0x40);
+}
+
+TEST(IrqBitmap, PopHighestDrainsInPriorityOrder) {
+  IrqBitmap b;
+  b.set(0x31);
+  b.set(0xEC);
+  b.set(0x80);
+  EXPECT_EQ(b.pop_highest(), 0xEC);
+  EXPECT_EQ(b.pop_highest(), 0x80);
+  EXPECT_EQ(b.pop_highest(), 0x31);
+  EXPECT_FALSE(b.any());
+}
+
+TEST(IrqBitmap, CountsBits) {
+  IrqBitmap b;
+  for (int v = 0; v < 256; v += 17) b.set(static_cast<std::uint8_t>(v));
+  EXPECT_EQ(b.count(), 16);
+  b.reset();
+  EXPECT_EQ(b.count(), 0);
+}
+
+TEST(Vectors, DeviceRangeExcludesSystemVectors) {
+  EXPECT_TRUE(is_device_vector(kFirstDeviceVector));
+  EXPECT_TRUE(is_device_vector(kLastDeviceVector));
+  EXPECT_FALSE(is_device_vector(kLocalTimerVector));
+  EXPECT_FALSE(is_device_vector(kRescheduleIpiVector));
+  EXPECT_FALSE(is_device_vector(kPostedInterruptVector));
+  EXPECT_FALSE(is_device_vector(0x20));  // legacy range
+}
+
+TEST(EmulatedLapic, PostThenDeliverable) {
+  EmulatedLapic lapic;
+  EXPECT_EQ(lapic.deliverable(), -1);
+  lapic.post(0x41);
+  EXPECT_EQ(lapic.deliverable(), 0x41);
+  EXPECT_TRUE(lapic.has_pending());
+}
+
+TEST(EmulatedLapic, HigherVectorWins) {
+  EmulatedLapic lapic;
+  lapic.post(0x41);
+  lapic.post(0x91);
+  EXPECT_EQ(lapic.deliverable(), 0x91);
+}
+
+TEST(EmulatedLapic, InServiceMasksSamePriorityClass) {
+  EmulatedLapic lapic;
+  lapic.post(0x45);
+  lapic.begin_service(0x45);
+  // Same priority class (0x4x): not deliverable while 0x45 in service.
+  lapic.post(0x43);
+  EXPECT_EQ(lapic.deliverable(), -1);
+  // Higher class preempts.
+  lapic.post(0x80);
+  EXPECT_EQ(lapic.deliverable(), 0x80);
+}
+
+TEST(EmulatedLapic, EoiRetiresAndUnmasksNext) {
+  EmulatedLapic lapic;
+  lapic.post(0x45);
+  lapic.begin_service(0x45);
+  lapic.post(0x43);
+  EXPECT_EQ(lapic.in_service_count(), 1);
+  const bool more = lapic.eoi();
+  EXPECT_TRUE(more);
+  EXPECT_EQ(lapic.deliverable(), 0x43);
+  EXPECT_EQ(lapic.in_service_count(), 0);
+}
+
+TEST(EmulatedLapic, NestedServiceEoiOrder) {
+  EmulatedLapic lapic;
+  lapic.post(0x45);
+  lapic.begin_service(0x45);
+  lapic.post(0x80);
+  lapic.begin_service(0x80);
+  EXPECT_EQ(lapic.in_service_count(), 2);
+  lapic.eoi();  // retires 0x80 (highest in service)
+  EXPECT_EQ(lapic.in_service_count(), 1);
+  EXPECT_TRUE(lapic.in_service(0x45));
+}
+
+TEST(PiDescriptor, FirstPostRequestsNotification) {
+  PiDescriptor pi;
+  EXPECT_TRUE(pi.post(0x50));
+  EXPECT_TRUE(pi.outstanding());
+  EXPECT_TRUE(pi.has_posted());
+}
+
+TEST(PiDescriptor, OnBitCoalescesDuplicateNotifications) {
+  PiDescriptor pi;
+  EXPECT_TRUE(pi.post(0x50));
+  EXPECT_FALSE(pi.post(0x51));  // ON still set: no second IPI
+  EXPECT_FALSE(pi.post(0x52));
+  IrqBitmap dest;
+  pi.sync_into(dest);
+  EXPECT_EQ(dest.count(), 3);
+  EXPECT_FALSE(pi.outstanding());
+  // After sync, a new post notifies again.
+  EXPECT_TRUE(pi.post(0x53));
+}
+
+TEST(VApicPage, SyncDeliverEoiRoundTrip) {
+  VApicPage v;
+  v.pi().post(0x61);
+  v.sync_pir();
+  EXPECT_EQ(v.deliverable(), 0x61);
+  EXPECT_EQ(v.deliver(), 0x61);
+  EXPECT_EQ(v.in_service_count(), 1);
+  EXPECT_FALSE(v.eoi());
+  EXPECT_EQ(v.in_service_count(), 0);
+}
+
+TEST(VApicPage, EoiExposesNextPending) {
+  VApicPage v;
+  v.pi().post(0x61);
+  v.pi().post(0x72);
+  v.sync_pir();
+  EXPECT_EQ(v.deliver(), 0x72);
+  EXPECT_TRUE(v.eoi());  // 0x61 becomes deliverable
+  EXPECT_EQ(v.deliver(), 0x61);
+}
+
+TEST(VApicPage, SamePriorityClassMasked) {
+  VApicPage v;
+  v.pi().post(0x62);
+  v.sync_pir();
+  v.deliver();
+  v.pi().post(0x61);
+  v.sync_pir();
+  EXPECT_EQ(v.deliverable(), -1);  // same class 0x6x in service
+}
+
+TEST(VApicPage, ResetClearsEverything) {
+  VApicPage v;
+  v.pi().post(0x61);
+  v.sync_pir();
+  v.deliver();
+  v.reset();
+  EXPECT_FALSE(v.has_pending());
+  EXPECT_EQ(v.in_service_count(), 0);
+  EXPECT_FALSE(v.pi().has_posted());
+}
+
+}  // namespace
+}  // namespace es2

@@ -1,0 +1,138 @@
+// Unit tests for src/base: RNG, strings, table, csv, units.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/csv.h"
+#include "base/rng.h"
+#include "base/strings.h"
+#include "base/table.h"
+#include "base/units.h"
+
+namespace es2 {
+namespace {
+
+TEST(Units, CyclesToNs) {
+  EXPECT_EQ(cycles_to_ns(0, 2.3), 0);
+  EXPECT_EQ(cycles_to_ns(2300, 2.3), 1000);
+  EXPECT_EQ(cycles_to_ns(1, 2.3), 1);  // floor of 1ns for nonzero work
+  EXPECT_EQ(cycles_to_ns(-5, 2.3), 0);
+}
+
+TEST(Units, Conversions) {
+  EXPECT_EQ(usec(3), 3000);
+  EXPECT_EQ(msec(2), 2'000'000);
+  EXPECT_EQ(sec(1), 1'000'000'000);
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(mbps(125'000, kSecond), 1.0);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, StreamsAreIndependent) {
+  Rng a = Rng::stream(42, "alpha");
+  Rng b = Rng::stream(42, "beta");
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng r(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(r.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng r(1);
+  EXPECT_FALSE(r.bernoulli(0.0));
+  EXPECT_TRUE(r.bernoulli(1.0));
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(123);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.2);
+}
+
+TEST(Rng, NormalClampsNonNegative) {
+  Rng r(55);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(r.normal(1.0, 3.0, /*nonneg=*/true), 0.0);
+  }
+}
+
+TEST(Strings, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(130840), "130,840");
+  EXPECT_EQ(with_commas(-1234567), "-1,234,567");
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(format("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+}
+
+TEST(Strings, RateStr) {
+  EXPECT_EQ(rate_str(12.3), "12.3/s");
+  EXPECT_EQ(rate_str(12345.0), "12.3k/s");
+  EXPECT_EQ(rate_str(3.2e6), "3.20M/s");
+}
+
+TEST(Strings, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Table, RendersAligned) {
+  Table t({"Name", "Value"});
+  t.add_row({"alpha", "1"});
+  t.add_rule();
+  t.add_row({"b", "22,222"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22,222"), std::string::npos);
+  // Header + 2 rows + 4 rules = 7 lines.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 7);
+}
+
+TEST(Csv, EscapesAndRenders) {
+  CsvWriter w({"a", "b"});
+  w.add_row({"1", "x,y"});
+  w.add_row({"2", "he said \"hi\""});
+  const std::string out = w.render();
+  EXPECT_NE(out.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(out.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Csv, WritesFile) {
+  CsvWriter w({"h"});
+  w.add_row({"v"});
+  const std::string path = ::testing::TempDir() + "/es2_csv_test/out.csv";
+  EXPECT_TRUE(w.write_file(path));
+}
+
+}  // namespace
+}  // namespace es2

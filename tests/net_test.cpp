@@ -1,0 +1,114 @@
+// Unit tests for the network substrate: links, peer host, packets.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/link.h"
+#include "net/packet.h"
+#include "net/peer.h"
+
+namespace es2 {
+namespace {
+
+PacketPtr packet_of(Bytes wire, std::uint64_t flow = 1) {
+  Packet p;
+  p.proto = Proto::kUdp;
+  p.flow = flow;
+  p.wire_size = wire;
+  p.payload = wire - kTcpUdpHeader;
+  return make_packet(std::move(p));
+}
+
+TEST(Packet, SegmentsForSizes) {
+  EXPECT_EQ(segments_for(0), 1);
+  EXPECT_EQ(segments_for(100), 1);
+  EXPECT_EQ(segments_for(kMtu - kTcpUdpHeader), 1);
+  EXPECT_EQ(segments_for(kMtu - kTcpUdpHeader + 1), 2);
+  EXPECT_EQ(segments_for(16 * kKiB), 12);
+}
+
+TEST(Link, DeliversAfterSerializationPlusLatency) {
+  Simulator sim;
+  Link link(sim, 40.0, 1500);
+  SimTime arrived = -1;
+  link.set_receiver([&](PacketPtr) { arrived = sim.now(); });
+  link.transmit(packet_of(1500));
+  sim.run_to_completion();
+  // 1500B at 40Gb/s = 300ns serialization + 1500ns latency.
+  EXPECT_EQ(arrived, 300 + 1500);
+}
+
+TEST(Link, SerializesBackToBackPackets) {
+  Simulator sim;
+  Link link(sim, 40.0, 0);
+  std::vector<SimTime> arrivals;
+  link.set_receiver([&](PacketPtr) { arrivals.push_back(sim.now()); });
+  link.transmit(packet_of(1500));
+  link.transmit(packet_of(1500));
+  link.transmit(packet_of(1500));
+  sim.run_to_completion();
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_EQ(arrivals[1] - arrivals[0], 300);
+  EXPECT_EQ(arrivals[2] - arrivals[1], 300);
+}
+
+TEST(Link, CountsTraffic) {
+  Simulator sim;
+  Link link(sim, 10.0, 0);
+  link.set_receiver([](PacketPtr) {});
+  link.transmit(packet_of(1000));
+  link.transmit(packet_of(500));
+  sim.run_to_completion();
+  EXPECT_EQ(link.packets_sent(), 2);
+  EXPECT_EQ(link.bytes_sent(), 1500);
+}
+
+TEST(PeerHost, RoutesByFlow) {
+  Simulator sim;
+  Link to_vm(sim, 40.0, 100);
+  Link from_vm(sim, 40.0, 100);
+  PeerHost peer(sim, to_vm);
+  peer.attach_rx(from_vm);
+  int got1 = 0, got2 = 0;
+  peer.register_flow(1, [&](const PacketPtr&) { ++got1; });
+  peer.register_flow(2, [&](const PacketPtr&) { ++got2; });
+  from_vm.transmit(packet_of(200, 1));
+  from_vm.transmit(packet_of(200, 2));
+  from_vm.transmit(packet_of(200, 2));
+  from_vm.transmit(packet_of(200, 99));  // unrouted
+  sim.run_to_completion();
+  EXPECT_EQ(got1, 1);
+  EXPECT_EQ(got2, 2);
+  EXPECT_EQ(peer.unrouted(), 1);
+}
+
+TEST(PeerHost, SendAddsProcessingDelay) {
+  Simulator sim;
+  Link to_vm(sim, 40.0, 0);
+  PeerHost peer(sim, to_vm, /*proc_delay=*/2500);
+  SimTime arrived = -1;
+  to_vm.set_receiver([&](PacketPtr) { arrived = sim.now(); });
+  peer.send(packet_of(100));
+  sim.run_to_completion();
+  EXPECT_GE(arrived, 2500);
+}
+
+TEST(PeerHost, UnregisterStopsRouting) {
+  Simulator sim;
+  Link to_vm(sim, 40.0, 0);
+  Link from_vm(sim, 40.0, 0);
+  PeerHost peer(sim, to_vm);
+  peer.attach_rx(from_vm);
+  int got = 0;
+  peer.register_flow(5, [&](const PacketPtr&) { ++got; });
+  from_vm.transmit(packet_of(100, 5));
+  sim.run_to_completion();
+  peer.unregister_flow(5);
+  from_vm.transmit(packet_of(100, 5));
+  sim.run_to_completion();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(peer.unrouted(), 1);
+}
+
+}  // namespace
+}  // namespace es2
