@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sriov_redirect.dir/sriov_redirect.cpp.o"
+  "CMakeFiles/sriov_redirect.dir/sriov_redirect.cpp.o.d"
+  "sriov_redirect"
+  "sriov_redirect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sriov_redirect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("sim")
+subdirs("stats")
+subdirs("cpu")
+subdirs("apic")
+subdirs("vm")
+subdirs("virtio")
+subdirs("net")
+subdirs("guest")
+subdirs("apps")
+subdirs("es2")
+subdirs("baselines")
+subdirs("harness")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/es2_apic.dir/lapic.cpp.o"
+  "CMakeFiles/es2_apic.dir/lapic.cpp.o.d"
+  "CMakeFiles/es2_apic.dir/vapic.cpp.o"
+  "CMakeFiles/es2_apic.dir/vapic.cpp.o.d"
+  "libes2_apic.a"
+  "libes2_apic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/es2_apic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for es2_apic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/es2_apps.dir/httpd.cpp.o"
+  "CMakeFiles/es2_apps.dir/httpd.cpp.o.d"
+  "CMakeFiles/es2_apps.dir/memcached.cpp.o"
+  "CMakeFiles/es2_apps.dir/memcached.cpp.o.d"
+  "CMakeFiles/es2_apps.dir/netperf.cpp.o"
+  "CMakeFiles/es2_apps.dir/netperf.cpp.o.d"
+  "CMakeFiles/es2_apps.dir/ping.cpp.o"
+  "CMakeFiles/es2_apps.dir/ping.cpp.o.d"
+  "libes2_apps.a"
+  "libes2_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/es2_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

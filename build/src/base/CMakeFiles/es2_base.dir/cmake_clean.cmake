@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/es2_base.dir/assert.cpp.o"
+  "CMakeFiles/es2_base.dir/assert.cpp.o.d"
+  "CMakeFiles/es2_base.dir/csv.cpp.o"
+  "CMakeFiles/es2_base.dir/csv.cpp.o.d"
+  "CMakeFiles/es2_base.dir/log.cpp.o"
+  "CMakeFiles/es2_base.dir/log.cpp.o.d"
+  "CMakeFiles/es2_base.dir/rng.cpp.o"
+  "CMakeFiles/es2_base.dir/rng.cpp.o.d"
+  "CMakeFiles/es2_base.dir/strings.cpp.o"
+  "CMakeFiles/es2_base.dir/strings.cpp.o.d"
+  "CMakeFiles/es2_base.dir/table.cpp.o"
+  "CMakeFiles/es2_base.dir/table.cpp.o.d"
+  "libes2_base.a"
+  "libes2_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/es2_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/es2_baselines.dir/coalescer.cpp.o"
+  "CMakeFiles/es2_baselines.dir/coalescer.cpp.o.d"
+  "CMakeFiles/es2_baselines.dir/poll_driver.cpp.o"
+  "CMakeFiles/es2_baselines.dir/poll_driver.cpp.o.d"
+  "libes2_baselines.a"
+  "libes2_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/es2_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

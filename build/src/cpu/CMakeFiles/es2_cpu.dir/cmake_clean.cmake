@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/es2_cpu.dir/cfs.cpp.o"
+  "CMakeFiles/es2_cpu.dir/cfs.cpp.o.d"
+  "CMakeFiles/es2_cpu.dir/thread.cpp.o"
+  "CMakeFiles/es2_cpu.dir/thread.cpp.o.d"
+  "libes2_cpu.a"
+  "libes2_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/es2_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/es2/config.cpp" "src/es2/CMakeFiles/es2_core.dir/config.cpp.o" "gcc" "src/es2/CMakeFiles/es2_core.dir/config.cpp.o.d"
+  "/root/repo/src/es2/es2.cpp" "src/es2/CMakeFiles/es2_core.dir/es2.cpp.o" "gcc" "src/es2/CMakeFiles/es2_core.dir/es2.cpp.o.d"
+  "/root/repo/src/es2/redirect.cpp" "src/es2/CMakeFiles/es2_core.dir/redirect.cpp.o" "gcc" "src/es2/CMakeFiles/es2_core.dir/redirect.cpp.o.d"
+  "/root/repo/src/es2/sriov.cpp" "src/es2/CMakeFiles/es2_core.dir/sriov.cpp.o" "gcc" "src/es2/CMakeFiles/es2_core.dir/sriov.cpp.o.d"
+  "/root/repo/src/es2/tracker.cpp" "src/es2/CMakeFiles/es2_core.dir/tracker.cpp.o" "gcc" "src/es2/CMakeFiles/es2_core.dir/tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/es2_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/virtio/CMakeFiles/es2_virtio.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/es2_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/es2_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/apic/CMakeFiles/es2_apic.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/es2_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/es2_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/es2_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

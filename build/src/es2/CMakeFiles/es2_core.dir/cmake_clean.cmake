@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/es2_core.dir/config.cpp.o"
+  "CMakeFiles/es2_core.dir/config.cpp.o.d"
+  "CMakeFiles/es2_core.dir/es2.cpp.o"
+  "CMakeFiles/es2_core.dir/es2.cpp.o.d"
+  "CMakeFiles/es2_core.dir/redirect.cpp.o"
+  "CMakeFiles/es2_core.dir/redirect.cpp.o.d"
+  "CMakeFiles/es2_core.dir/sriov.cpp.o"
+  "CMakeFiles/es2_core.dir/sriov.cpp.o.d"
+  "CMakeFiles/es2_core.dir/tracker.cpp.o"
+  "CMakeFiles/es2_core.dir/tracker.cpp.o.d"
+  "libes2_core.a"
+  "libes2_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/es2_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/es2_guest.dir/guest_os.cpp.o"
+  "CMakeFiles/es2_guest.dir/guest_os.cpp.o.d"
+  "CMakeFiles/es2_guest.dir/virtio_net.cpp.o"
+  "CMakeFiles/es2_guest.dir/virtio_net.cpp.o.d"
+  "libes2_guest.a"
+  "libes2_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/es2_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/es2_harness.dir/experiments.cpp.o"
+  "CMakeFiles/es2_harness.dir/experiments.cpp.o.d"
+  "CMakeFiles/es2_harness.dir/parallel.cpp.o"
+  "CMakeFiles/es2_harness.dir/parallel.cpp.o.d"
+  "CMakeFiles/es2_harness.dir/testbed.cpp.o"
+  "CMakeFiles/es2_harness.dir/testbed.cpp.o.d"
+  "libes2_harness.a"
+  "libes2_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/es2_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

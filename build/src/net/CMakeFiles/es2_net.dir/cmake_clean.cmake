@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/es2_net.dir/link.cpp.o"
+  "CMakeFiles/es2_net.dir/link.cpp.o.d"
+  "CMakeFiles/es2_net.dir/peer.cpp.o"
+  "CMakeFiles/es2_net.dir/peer.cpp.o.d"
+  "libes2_net.a"
+  "libes2_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/es2_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libes2_net.a"
+)

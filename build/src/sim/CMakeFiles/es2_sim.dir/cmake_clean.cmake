@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/es2_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/es2_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/es2_sim.dir/simulator.cpp.o"
+  "CMakeFiles/es2_sim.dir/simulator.cpp.o.d"
+  "libes2_sim.a"
+  "libes2_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/es2_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

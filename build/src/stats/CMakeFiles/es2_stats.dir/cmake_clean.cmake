@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/es2_stats.dir/histogram.cpp.o"
+  "CMakeFiles/es2_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/es2_stats.dir/meters.cpp.o"
+  "CMakeFiles/es2_stats.dir/meters.cpp.o.d"
+  "libes2_stats.a"
+  "libes2_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/es2_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

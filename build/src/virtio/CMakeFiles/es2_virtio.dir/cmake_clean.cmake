@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/es2_virtio.dir/vhost.cpp.o"
+  "CMakeFiles/es2_virtio.dir/vhost.cpp.o.d"
+  "CMakeFiles/es2_virtio.dir/virtqueue.cpp.o"
+  "CMakeFiles/es2_virtio.dir/virtqueue.cpp.o.d"
+  "libes2_virtio.a"
+  "libes2_virtio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/es2_virtio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

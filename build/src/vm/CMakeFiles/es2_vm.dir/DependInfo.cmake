@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/exit.cpp" "src/vm/CMakeFiles/es2_vm.dir/exit.cpp.o" "gcc" "src/vm/CMakeFiles/es2_vm.dir/exit.cpp.o.d"
+  "/root/repo/src/vm/irq_router.cpp" "src/vm/CMakeFiles/es2_vm.dir/irq_router.cpp.o" "gcc" "src/vm/CMakeFiles/es2_vm.dir/irq_router.cpp.o.d"
+  "/root/repo/src/vm/vcpu.cpp" "src/vm/CMakeFiles/es2_vm.dir/vcpu.cpp.o" "gcc" "src/vm/CMakeFiles/es2_vm.dir/vcpu.cpp.o.d"
+  "/root/repo/src/vm/vm.cpp" "src/vm/CMakeFiles/es2_vm.dir/vm.cpp.o" "gcc" "src/vm/CMakeFiles/es2_vm.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/es2_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/apic/CMakeFiles/es2_apic.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/es2_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/es2_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/es2_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

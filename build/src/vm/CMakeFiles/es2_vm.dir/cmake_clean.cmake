@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/es2_vm.dir/exit.cpp.o"
+  "CMakeFiles/es2_vm.dir/exit.cpp.o.d"
+  "CMakeFiles/es2_vm.dir/irq_router.cpp.o"
+  "CMakeFiles/es2_vm.dir/irq_router.cpp.o.d"
+  "CMakeFiles/es2_vm.dir/vcpu.cpp.o"
+  "CMakeFiles/es2_vm.dir/vcpu.cpp.o.d"
+  "CMakeFiles/es2_vm.dir/vm.cpp.o"
+  "CMakeFiles/es2_vm.dir/vm.cpp.o.d"
+  "libes2_vm.a"
+  "libes2_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/es2_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apic_test.dir/apic_test.cpp.o"
+  "CMakeFiles/apic_test.dir/apic_test.cpp.o.d"
+  "apic_test"
+  "apic_test.pdb"
+  "apic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

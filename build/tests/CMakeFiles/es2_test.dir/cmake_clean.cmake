@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/es2_test.dir/es2_test.cpp.o"
+  "CMakeFiles/es2_test.dir/es2_test.cpp.o.d"
+  "es2_test"
+  "es2_test.pdb"
+  "es2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/es2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

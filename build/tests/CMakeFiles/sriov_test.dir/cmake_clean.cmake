@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sriov_test.dir/sriov_test.cpp.o"
+  "CMakeFiles/sriov_test.dir/sriov_test.cpp.o.d"
+  "sriov_test"
+  "sriov_test.pdb"
+  "sriov_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sriov_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

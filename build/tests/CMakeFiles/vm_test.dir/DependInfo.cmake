@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vm_test.cpp" "tests/CMakeFiles/vm_test.dir/vm_test.cpp.o" "gcc" "tests/CMakeFiles/vm_test.dir/vm_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/es2_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/es2_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/es2/CMakeFiles/es2_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/es2_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/es2_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/virtio/CMakeFiles/es2_virtio.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/es2_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/es2_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/apic/CMakeFiles/es2_apic.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/es2_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/es2_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/es2_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/es2_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
