@@ -1,0 +1,370 @@
+// Event-core microbenchmark: the pooled calendar queue against the seed's
+// heap-of-std::function queue (kept verbatim below as `legacy::EventQueue`),
+// on the workload shapes the simulator actually produces:
+//
+//   * schedule+fire churn with a rolling occupancy and realistic delay mix
+//     (mostly sub-4µs completions, some sub-ms, a tail of long timers);
+//   * the preempted-CPU-segment pattern: schedule a completion, cancel it
+//     before it fires, reschedule (the queue's dominant cancel load);
+//   * the end-to-end Fig. 4 quota sweep wall time.
+//
+// Emits BENCH_eventcore.json (events/sec, ns/event, allocations/event,
+// speedup vs legacy, fig4 wall seconds, queue layer counters) so the perf
+// trajectory is tracked from this PR onward. This binary links
+// es2_alloc_hook, so allocations/event is measured, not estimated.
+//
+// Usage: bench_eventcore [--fast] [--seed=N] [--out=DIR] [--json[=PATH]]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/alloc_hook.h"
+#include "base/assert.h"
+#include "base/rng.h"
+#include "base/table.h"
+#include "base/units.h"
+#include "harness/experiments.h"
+#include "harness/parallel.h"
+#include "sim/event_queue.h"
+#include "base/strings.h"
+
+namespace es2::legacy {
+
+// The seed event queue, verbatim: binary heap of (time, seq) entries, one
+// std::function + one shared_ptr<bool> control block per event, lazy
+// cancellation skimmed at the heap top. Kept here as the benchmark
+// baseline so the speedup claim stays reproducible.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  void cancel() {
+    if (alive_ && *alive_) *alive_ = false;
+  }
+  bool pending() const { return alive_ && *alive_; }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+  EventHandle schedule(SimTime when, std::function<void()> fn) {
+    ES2_CHECK_MSG(when >= 0, "cannot schedule before time 0");
+    auto alive = std::make_shared<bool>(true);
+    heap_.push_back(Entry{when, next_seq_++, std::move(fn), alive});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    return EventHandle(std::move(alive));
+  }
+  bool has_next() {
+    skim();
+    return !heap_.empty();
+  }
+  SimTime next_time() {
+    skim();
+    return heap_.front().when;
+  }
+  SimTime pop_and_run() {
+    skim();
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Entry entry = std::move(heap_.back());
+    heap_.pop_back();
+    *entry.alive = false;
+    entry.fn();
+    return entry.when;
+  }
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> alive;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+  void skim() {
+    while (!heap_.empty() && !*heap_.front().alive) {
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      heap_.pop_back();
+    }
+  }
+  std::vector<Entry> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace es2::legacy
+
+namespace es2 {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// The simulator's delay mix: mostly short completions (near/wheel),
+/// a tail of long timers (overflow heap).
+SimDuration next_delay(Rng& rng) {
+  const std::uint64_t r = rng.next_u64();
+  const std::uint64_t c = r % 100;
+  const std::uint64_t v = r >> 8;
+  if (c < 70) return 1 + static_cast<SimDuration>(v % usec(4));
+  if (c < 95) return 1 + static_cast<SimDuration>(v % msec(1));
+  return 1 + static_cast<SimDuration>(v % msec(100));
+}
+
+struct ChurnResult {
+  double events_per_sec = 0;
+  double ns_per_event = 0;
+  double allocs_per_event = 0;
+};
+
+/// Rolling schedule+fire churn: pop the earliest event, schedule one
+/// replacement, keeping a steady occupancy like a running simulation.
+template <typename Queue>
+ChurnResult run_fire_churn(std::int64_t target_fires, std::uint64_t seed) {
+  Queue q;
+  Rng rng = Rng::stream(seed, "eventcore-fire");
+  SimTime now = 0;
+  std::int64_t side_effect = 0;
+  const int depth = 1024;
+  for (int i = 0; i < depth; ++i) {
+    q.schedule(now + next_delay(rng), [&side_effect] { ++side_effect; });
+  }
+  const std::int64_t alloc0 = test::allocation_count();
+  const auto start = Clock::now();
+  for (std::int64_t fired = 0; fired < target_fires; ++fired) {
+    now = q.pop_and_run();
+    q.schedule(now + next_delay(rng), [&side_effect] { ++side_effect; });
+  }
+  const double elapsed = seconds_since(start);
+  const std::int64_t allocs = test::allocation_count() - alloc0;
+  ES2_CHECK(side_effect >= target_fires);
+  ChurnResult r;
+  r.events_per_sec = static_cast<double>(target_fires) / elapsed;
+  r.ns_per_event = elapsed * 1e9 / static_cast<double>(target_fires);
+  r.allocs_per_event =
+      static_cast<double>(allocs) / static_cast<double>(target_fires);
+  return r;
+}
+
+/// The preempted-segment pattern: schedule a completion, usually cancel
+/// it before it fires and rearm. 4 of 5 completions are cancelled.
+template <typename Queue>
+ChurnResult run_cancel_churn(std::int64_t target_ops, std::uint64_t seed) {
+  Queue q;
+  Rng rng = Rng::stream(seed, "eventcore-cancel");
+  SimTime now = 0;
+  std::int64_t side_effect = 0;
+  const std::int64_t alloc0 = test::allocation_count();
+  const auto start = Clock::now();
+  std::int64_t ops = 0;
+  while (ops < target_ops) {
+    auto h = q.schedule(now + next_delay(rng), [&side_effect] { ++side_effect; });
+    ++ops;
+    if (rng.next_u64() % 5 != 0) {
+      h.cancel();
+      ++ops;
+    }
+    // Drain a little so live events fire and time advances.
+    if (ops % 8 == 0 && q.has_next()) {
+      now = q.pop_and_run();
+      ++ops;
+    }
+  }
+  while (q.has_next()) q.pop_and_run();
+  const double elapsed = seconds_since(start);
+  const std::int64_t allocs = test::allocation_count() - alloc0;
+  ChurnResult r;
+  r.events_per_sec = static_cast<double>(target_ops) / elapsed;
+  r.ns_per_event = elapsed * 1e9 / static_cast<double>(target_ops);
+  r.allocs_per_event =
+      static_cast<double>(allocs) / static_cast<double>(target_ops);
+  return r;
+}
+
+/// End-to-end check: wall time of the Fig. 4 quota sweep (the PR's
+/// representative full-simulation workload) on the production queue.
+double fig4_sweep_seconds(bool fast, std::uint64_t seed) {
+  struct Case {
+    Proto proto;
+    Bytes msg;
+  };
+  const std::vector<Case> cases = fast
+      ? std::vector<Case>{{Proto::kUdp, 1024}, {Proto::kTcp, 1024}}
+      : std::vector<Case>{{Proto::kUdp, 256}, {Proto::kUdp, 1024},
+                          {Proto::kTcp, 1024}};
+  const std::vector<int> quotas =
+      fast ? std::vector<int>{0, 8, 2} : std::vector<int>{0, 64, 32, 16, 8, 4, 2};
+  std::vector<StreamResult> results(cases.size() * quotas.size());
+  std::vector<std::function<void()>> tasks;
+  for (size_t c = 0; c < cases.size(); ++c) {
+    for (size_t q = 0; q < quotas.size(); ++q) {
+      tasks.push_back([&, c, q] {
+        StreamOptions o;
+        o.config = quotas[q] == 0 ? Es2Config::pi() : Es2Config::pi_h(quotas[q]);
+        o.proto = cases[c].proto;
+        o.msg_size = cases[c].msg;
+        o.vm_sends = true;
+        o.seed = seed;
+        o.warmup = fast ? msec(50) : msec(250);
+        o.measure = fast ? msec(150) : msec(800);
+        results[c * quotas.size() + q] = run_stream(o);
+      });
+    }
+  }
+  const auto start = Clock::now();
+  ParallelRunner().run(std::move(tasks));
+  return seconds_since(start);
+}
+
+/// Runs a long enough mixed workload on the production queue to report
+/// the calendar-layer counters in the JSON.
+EventQueueStats layer_stats(std::uint64_t seed) {
+  EventQueue q;
+  Rng rng = Rng::stream(seed, "eventcore-layers");
+  SimTime now = 0;
+  std::int64_t sink = 0;
+  for (int i = 0; i < 512; ++i) {
+    q.schedule(now + next_delay(rng), [&sink] { ++sink; });
+  }
+  for (int i = 0; i < 200000; ++i) {
+    now = q.pop_and_run();
+    auto h = q.schedule(now + next_delay(rng), [&sink] { ++sink; });
+    if (rng.next_u64() % 3 == 0) {
+      h.cancel();
+      q.schedule(now + next_delay(rng), [&sink] { ++sink; });
+    }
+  }
+  return q.stats();
+}
+
+void write_json(const std::string& path, bool fast, std::uint64_t seed,
+                const ChurnResult& fire_new, const ChurnResult& fire_old,
+                const ChurnResult& cancel_new, const ChurnResult& cancel_old,
+                double fig4_seconds, const EventQueueStats& stats) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("[could not write %s]\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"eventcore\",\n");
+  std::fprintf(f, "  \"fast\": %s,\n", fast ? "true" : "false");
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(seed));
+  auto emit_churn = [f](const char* name, const ChurnResult& r,
+                        bool trailing_comma) {
+    std::fprintf(f,
+                 "  \"%s\": {\"events_per_sec\": %.0f, \"ns_per_event\": "
+                 "%.2f, \"allocs_per_event\": %.4f}%s\n",
+                 name, r.events_per_sec, r.ns_per_event, r.allocs_per_event,
+                 trailing_comma ? "," : "");
+  };
+  emit_churn("schedule_fire_pooled", fire_new, true);
+  emit_churn("schedule_fire_legacy", fire_old, true);
+  emit_churn("cancel_churn_pooled", cancel_new, true);
+  emit_churn("cancel_churn_legacy", cancel_old, true);
+  std::fprintf(f, "  \"speedup_schedule_fire\": %.2f,\n",
+               fire_new.events_per_sec / fire_old.events_per_sec);
+  std::fprintf(f, "  \"speedup_cancel_churn\": %.2f,\n",
+               cancel_new.events_per_sec / cancel_old.events_per_sec);
+  std::fprintf(f, "  \"fig4_sweep_wall_seconds\": %.3f,\n", fig4_seconds);
+  std::fprintf(
+      f,
+      "  \"queue_layers\": {\"near_hits\": %llu, \"wheel_hits\": %llu, "
+      "\"far_hits\": %llu, \"far_migrations\": %llu, \"peak_live\": %llu, "
+      "\"boxed_callbacks\": %llu}\n",
+      static_cast<unsigned long long>(stats.near_hits),
+      static_cast<unsigned long long>(stats.wheel_hits),
+      static_cast<unsigned long long>(stats.far_hits),
+      static_cast<unsigned long long>(stats.far_migrations),
+      static_cast<unsigned long long>(stats.peak_live),
+      static_cast<unsigned long long>(stats.boxed_callbacks));
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("[json written to %s]\n", path.c_str());
+}
+
+int bench_main(int argc, char** argv) {
+  bool fast = false;
+  bool json = false;
+  std::uint64_t seed = 1;
+  std::string out_dir = "bench/out";
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fast") fast = true;
+    if (arg.rfind("--seed=", 0) == 0) seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    if (arg.rfind("--out=", 0) == 0) out_dir = arg.substr(6);
+    if (arg == "--json") json = true;
+    if (arg.rfind("--json=", 0) == 0) {
+      json = true;
+      json_path = arg.substr(7);
+    }
+  }
+  if (json && json_path.empty()) json_path = out_dir + "/BENCH_eventcore.json";
+
+  std::printf("================================================================\n");
+  std::printf("eventcore — pooled calendar queue vs seed heap+std::function\n");
+  std::printf("================================================================\n");
+
+  const std::int64_t fires = fast ? 300000 : 3000000;
+  const std::int64_t cancel_ops = fast ? 300000 : 3000000;
+
+  const ChurnResult fire_new = run_fire_churn<EventQueue>(fires, seed);
+  const ChurnResult fire_old = run_fire_churn<legacy::EventQueue>(fires, seed);
+  const ChurnResult cancel_new = run_cancel_churn<EventQueue>(cancel_ops, seed);
+  const ChurnResult cancel_old =
+      run_cancel_churn<legacy::EventQueue>(cancel_ops, seed);
+
+  Table t({"workload", "impl", "events/s", "ns/event", "allocs/event"});
+  auto row = [&t](const char* wl, const char* impl, const ChurnResult& r) {
+    t.add_row({wl, impl, with_commas(static_cast<std::int64_t>(r.events_per_sec)),
+               fixed(r.ns_per_event, 1), fixed(r.allocs_per_event, 4)});
+  };
+  row("schedule+fire", "pooled", fire_new);
+  row("schedule+fire", "legacy", fire_old);
+  row("cancel churn", "pooled", cancel_new);
+  row("cancel churn", "legacy", cancel_old);
+  std::printf("%s", t.render().c_str());
+  std::printf("speedup: schedule+fire %.2fx, cancel churn %.2fx\n",
+              fire_new.events_per_sec / fire_old.events_per_sec,
+              cancel_new.events_per_sec / cancel_old.events_per_sec);
+
+  const EventQueueStats stats = layer_stats(seed);
+  std::printf(
+      "layers: near %llu, wheel %llu, far %llu (migrations %llu), boxed %llu\n",
+      static_cast<unsigned long long>(stats.near_hits),
+      static_cast<unsigned long long>(stats.wheel_hits),
+      static_cast<unsigned long long>(stats.far_hits),
+      static_cast<unsigned long long>(stats.far_migrations),
+      static_cast<unsigned long long>(stats.boxed_callbacks));
+
+  const double fig4_s = fig4_sweep_seconds(fast, seed);
+  std::printf("fig4 sweep wall time: %.3fs%s\n", fig4_s,
+              fast ? " (--fast)" : "");
+
+  if (json) {
+    write_json(json_path, fast, seed, fire_new, fire_old, cancel_new,
+               cancel_old, fig4_s, stats);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace es2
+
+int main(int argc, char** argv) { return es2::bench_main(argc, argv); }

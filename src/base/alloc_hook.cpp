@@ -1,0 +1,77 @@
+#include "base/alloc_hook.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+// Relaxed is enough: callers only read deltas from the thread doing the
+// allocating, and exactness across racing threads is not required.
+std::atomic<std::int64_t> g_count{0};
+std::atomic<std::int64_t> g_bytes{0};
+
+void* counted_alloc(std::size_t size) {
+  g_count.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(static_cast<std::int64_t>(size),
+                    std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_alloc_aligned(std::size_t size, std::size_t align) {
+  g_count.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(static_cast<std::int64_t>(size),
+                    std::memory_order_relaxed);
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t padded = (size + align - 1) / align * align;
+  if (void* p = std::aligned_alloc(align, padded ? padded : align)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+namespace es2::test {
+std::int64_t allocation_count() {
+  return g_count.load(std::memory_order_relaxed);
+}
+std::int64_t allocation_bytes() {
+  return g_bytes.load(std::memory_order_relaxed);
+}
+}  // namespace es2::test
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_count.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(static_cast<std::int64_t>(size),
+                    std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  g_count.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(static_cast<std::int64_t>(size),
+                    std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}

@@ -1,0 +1,32 @@
+// Allocation-counting test hook.
+//
+// Linking the `es2_alloc_hook` library into a binary replaces the global
+// operator new/delete with counting versions, so tests and benchmarks can
+// assert that a code region performs zero heap allocations (the event
+// core's steady-state contract). Not linked into the core libraries —
+// only test/bench binaries pay for it.
+#pragma once
+
+#include <cstdint>
+
+namespace es2::test {
+
+/// Total global operator new calls in this process so far.
+std::int64_t allocation_count();
+
+/// Total bytes requested from global operator new so far.
+std::int64_t allocation_bytes();
+
+/// Counts allocations across a scope:
+///   AllocationCounter c;  ...work...  EXPECT_EQ(c.delta(), 0);
+class AllocationCounter {
+ public:
+  AllocationCounter() : start_(allocation_count()) {}
+  std::int64_t delta() const { return allocation_count() - start_; }
+  void reset() { start_ = allocation_count(); }
+
+ private:
+  std::int64_t start_;
+};
+
+}  // namespace es2::test

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
+#include <mutex>
 #include <thread>
 
 #include "base/assert.h"
@@ -20,22 +22,44 @@ void ParallelRunner::run(std::vector<std::function<void()>> tasks) const {
   const int workers =
       std::min<int>(threads_, static_cast<int>(tasks.size()));
   if (workers <= 1) {
-    for (auto& task : tasks) task();
+    std::exception_ptr first;
+    for (auto& task : tasks) {
+      try {
+        task();
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
+    }
+    if (first) std::rethrow_exception(first);
     return;
   }
+  // Shared work index: every worker pulls the next unclaimed task, so
+  // skewed task durations balance automatically (no pre-partitioning).
   std::atomic<size_t> next{0};
+  std::mutex error_mutex;
+  size_t error_index = tasks.size();
+  std::exception_ptr error;
   std::vector<std::thread> pool;
   pool.reserve(static_cast<size_t>(workers));
   for (int w = 0; w < workers; ++w) {
-    pool.emplace_back([&tasks, &next] {
+    pool.emplace_back([&] {
       for (;;) {
         const size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= tasks.size()) return;
-        tasks[i]();
+        try {
+          tasks[i]();
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (i < error_index) {
+            error_index = i;
+            error = std::current_exception();
+          }
+        }
       }
     });
   }
   for (auto& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
 }
 
 void parallel_for(int n, const std::function<void(int)>& fn, int threads) {

@@ -5,6 +5,11 @@
 // perfectly: one task per scenario on a bounded thread pool. Results are
 // written into caller-owned slots, so ordering is deterministic no matter
 // how the pool schedules.
+//
+// Workers pull tasks from a shared atomic work index rather than any
+// static pre-partition, so a sweep whose scenarios have wildly uneven
+// runtimes (macro topologies next to micro ones) never tail-stalls on
+// one unlucky worker.
 #pragma once
 
 #include <functional>
@@ -19,6 +24,9 @@ class ParallelRunner {
 
   /// Runs all tasks to completion. Tasks must not touch shared mutable
   /// state (each should build its own Simulator and write its own slot).
+  /// If tasks throw, the remaining tasks still run and the exception
+  /// from the lowest-indexed throwing task is rethrown afterwards
+  /// (instead of std::terminate from an exception escaping a worker).
   void run(std::vector<std::function<void()>> tasks) const;
 
   int threads() const { return threads_; }

@@ -6,20 +6,6 @@ namespace es2 {
 
 Simulator::Simulator(std::uint64_t seed) : seed_(seed) {}
 
-EventHandle Simulator::at(SimTime when, std::function<void()> fn) {
-  ES2_CHECK_MSG(when >= now_, "cannot schedule into the past");
-  return queue_.schedule(when, std::move(fn));
-}
-
-EventHandle Simulator::after(SimDuration delay, std::function<void()> fn) {
-  ES2_CHECK_MSG(delay >= 0, "negative delay");
-  return queue_.schedule(now_ + delay, std::move(fn));
-}
-
-EventHandle Simulator::defer(std::function<void()> fn) {
-  return queue_.schedule(now_, std::move(fn));
-}
-
 std::uint64_t Simulator::run_until(SimTime deadline) {
   std::uint64_t executed = 0;
   while (queue_.has_next() && queue_.next_time() <= deadline) {

@@ -9,7 +9,10 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <type_traits>
+#include <utility>
 
+#include "base/assert.h"
 #include "base/rng.h"
 #include "base/units.h"
 #include "sim/event_queue.h"
@@ -29,14 +32,34 @@ class Simulator {
   Rng make_rng(std::string_view label) const { return Rng::stream(seed_, label); }
 
   /// Schedules `fn` at absolute time `when` (must be >= now()).
-  EventHandle at(SimTime when, std::function<void()> fn);
+  ///
+  /// `fn` is stored inline in the pooled event record — no allocation.
+  /// The static_assert enforces the inline-size budget for every model
+  /// call site; a callable that genuinely needs more capture space can
+  /// go through queue().schedule(), which boxes it on the heap.
+  template <typename F>
+  EventHandle at(SimTime when, F&& fn) {
+    static_assert(sizeof(std::decay_t<F>) <= detail::kInlineCallbackCapacity,
+                  "callback captures exceed the inline event buffer "
+                  "(detail::kInlineCallbackCapacity); shrink the capture or "
+                  "use queue().schedule() to accept a boxed allocation");
+    ES2_CHECK_MSG(when >= now_, "cannot schedule into the past");
+    return queue_.schedule(when, std::forward<F>(fn));
+  }
 
   /// Schedules `fn` after `delay` (>= 0) from now.
-  EventHandle after(SimDuration delay, std::function<void()> fn);
+  template <typename F>
+  EventHandle after(SimDuration delay, F&& fn) {
+    ES2_CHECK_MSG(delay >= 0, "negative delay");
+    return at(now_ + delay, std::forward<F>(fn));
+  }
 
   /// Schedules `fn` to run at the current time, after already-queued
   /// same-instant events (a "bottom half").
-  EventHandle defer(std::function<void()> fn);
+  template <typename F>
+  EventHandle defer(F&& fn) {
+    return at(now_, std::forward<F>(fn));
+  }
 
   /// Runs events until the queue empties or the clock passes `deadline`.
   /// Returns the number of events executed.

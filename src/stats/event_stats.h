@@ -1,0 +1,28 @@
+// Perf counters for the event core (see sim/event_queue.h).
+//
+// One struct per EventQueue, updated inline on the hot path (plain
+// integer adds — a Simulator is single-threaded). `wheel_hits` vs
+// `near_hits`/`far_hits` shows how well the calendar front-end absorbs
+// the workload: near = due in the current bucket (straight to the small
+// heap), wheel = O(1) bucket insert, far = overflow heap insert.
+#pragma once
+
+#include <cstdint>
+
+namespace es2 {
+
+struct EventQueueStats {
+  std::uint64_t scheduled = 0;        // schedule() calls
+  std::uint64_t fired = 0;            // callbacks executed
+  std::uint64_t cancelled = 0;        // live events cancelled
+  std::uint64_t boxed_callbacks = 0;  // callables too big for inline buf
+  std::uint64_t near_hits = 0;        // scheduled straight into near heap
+  std::uint64_t wheel_hits = 0;       // scheduled into a wheel bucket
+  std::uint64_t far_hits = 0;         // scheduled into the overflow heap
+  std::uint64_t far_migrations = 0;   // far -> wheel/near refills
+  std::uint64_t heap_compactions = 0; // stale-key compaction passes
+  std::uint64_t peak_live = 0;        // max concurrently scheduled events
+  std::uint64_t slabs_allocated = 0;  // pool growth events (not steady state)
+};
+
+}  // namespace es2

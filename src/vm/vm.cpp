@@ -41,16 +41,18 @@ void Vm::arm_guest_timer(int vcpu_index) {
       period * (vcpu_index + 1) / (num_vcpus() + 1);
   timer_events_[static_cast<size_t>(vcpu_index)] =
       host_.sim().after(phase, [this, vcpu_index, period] {
-        // The guest timer is a per-vCPU interrupt: KVM injects it directly
-        // at its affine vCPU; it never passes the MSI router, so ES2
-        // redirection can never touch it (paper §V-C).
-        auto tick = std::make_shared<std::function<void()>>();
-        *tick = [this, vcpu_index, period, tick] {
-          vcpu(vcpu_index).deliver_interrupt(kLocalTimerVector);
-          timer_events_[static_cast<size_t>(vcpu_index)] =
-              host_.sim().after(period, *tick);
-        };
-        (*tick)();
+        guest_timer_tick(vcpu_index, period);
+      });
+}
+
+void Vm::guest_timer_tick(int vcpu_index, SimDuration period) {
+  // The guest timer is a per-vCPU interrupt: KVM injects it directly
+  // at its affine vCPU; it never passes the MSI router, so ES2
+  // redirection can never touch it (paper §V-C).
+  vcpu(vcpu_index).deliver_interrupt(kLocalTimerVector);
+  timer_events_[static_cast<size_t>(vcpu_index)] =
+      host_.sim().after(period, [this, vcpu_index, period] {
+        guest_timer_tick(vcpu_index, period);
       });
 }
 

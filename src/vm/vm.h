@@ -55,6 +55,7 @@ class Vm {
 
  private:
   void arm_guest_timer(int vcpu_index);
+  void guest_timer_tick(int vcpu_index, SimDuration period);
 
   KvmHost& host_;
   int id_;
