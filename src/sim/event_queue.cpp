@@ -29,7 +29,19 @@ void EventCore::close() {
   for (Bucket& b : wheel_) b.head = kInvalidSlot;
   for (std::uint64_t& word : occupied_) word = 0;
   live_ = 0;
-  free_head_ = kInvalidSlot;  // records are unlinked; rebuild lazily
+  // Rebuild the free list from scratch (idempotent), keeping low slots
+  // first, so every slab's records stay reachable if the core is used
+  // again after close().
+  free_head_ = kInvalidSlot;
+  for (std::size_t s = slabs_.size(); s-- > 0;) {
+    Slab& slab = *slabs_[s];
+    const std::uint32_t base = static_cast<std::uint32_t>(s) * kSlabSize;
+    for (std::uint32_t i = kSlabSize; i-- > 0;) {
+      slab.records[i].prev = kInvalidSlot;
+      slab.records[i].next = free_head_;
+      free_head_ = base + i;
+    }
+  }
 }
 
 std::uint32_t EventCore::acquire_slot() {
@@ -129,24 +141,26 @@ void EventCore::enqueue(std::uint32_t slot, SimTime when) {
 void EventCore::cancel(std::uint32_t slot, std::uint32_t gen) {
   EventRecord& r = record(slot);
   if (r.gen != gen || r.loc == EventLocation::kFree) return;
-  switch (r.loc) {
-    case EventLocation::kWheel:
-      unlink_from_wheel(r, slot);
-      break;
-    case EventLocation::kNear:
-      ++near_stale_;
-      maybe_compact(near_, near_stale_);
-      break;
-    case EventLocation::kFar:
-      ++far_stale_;
-      maybe_compact(far_, far_stale_);
-      break;
-    case EventLocation::kFree:
-      return;
+  const EventLocation loc = r.loc;
+  if (loc == EventLocation::kWheel) {
+    unlink_from_wheel(r, slot);
+  } else if (loc == EventLocation::kNear) {
+    ++near_stale_;
+  } else {
+    ++far_stale_;
   }
+  // Reclaim (and bump the generation) BEFORE any compaction so the
+  // cancelled key is recognisably dead: compacting first would let it
+  // survive the pass while the stale counter resets, and skim() would
+  // later underflow that counter when the key finally surfaced.
   free_slot(slot);
   stats_.cancelled++;
   --live_;
+  if (loc == EventLocation::kNear) {
+    maybe_compact(near_, near_stale_);
+  } else if (loc == EventLocation::kFar) {
+    maybe_compact(far_, far_stale_);
+  }
 }
 
 void EventCore::skim(std::vector<HeapKey>& heap, std::size_t& stale) {
@@ -162,9 +176,9 @@ void EventCore::skim(std::vector<HeapKey>& heap, std::size_t& stale) {
 
 void EventCore::maybe_compact(std::vector<HeapKey>& heap, std::size_t& stale) {
   if (stale < 64 || stale * 2 <= heap.size()) return;
-  // NOTE: called from cancel(), i.e. before free_slot() bumps the
-  // cancelled event's generation — that key still looks live here and
-  // survives the pass, which is fine (it is skimmed like any other).
+  // Precondition: every counted-stale key has a mismatched generation
+  // (cancel() calls free_slot() before compacting), so exactly `stale`
+  // keys are removed here and resetting the counter to 0 is exact.
   auto dead = [this](const HeapKey& k) {
     return record(k.slot).gen != k.gen;
   };
@@ -272,8 +286,16 @@ SimTime EventCore::pop_and_run() {
   r.gen++;
   --live_;
   stats_.fired++;
+  // Reclaim the slot on both normal return and exceptional unwind: a
+  // throwing callback must still have its closure destroyed and its
+  // record returned to the free list (the seed's std::function entry
+  // was likewise destroyed during unwind).
+  struct SlotReclaimer {
+    EventCore* core;
+    std::uint32_t slot;
+    ~SlotReclaimer() { core->free_slot(slot); }
+  } reclaim{this, k.slot};
   r.ops->invoke(r.buf);
-  free_slot(k.slot);
   return k.when;
 }
 

@@ -142,6 +142,16 @@ class EventCore {
   /// then calls enqueue().
   std::uint32_t acquire_slot();
 
+  /// Returns a slot obtained from acquire_slot() that was never
+  /// enqueue()d (callback construction threw). No generation bump is
+  /// needed: no handle was ever issued for it and no callback lives in
+  /// its buffer.
+  void release_unqueued_slot(std::uint32_t slot) {
+    EventRecord& r = record(slot);
+    r.next = free_head_;
+    free_head_ = slot;
+  }
+
   EventRecord& record(std::uint32_t slot) {
     return slabs_[slot / kSlabSize]->records[slot % kSlabSize];
   }
@@ -255,8 +265,10 @@ class EventQueue {
 
   /// Schedules `fn` to run at absolute time `when`. Events at the same
   /// instant fire in scheduling order. Callables up to
-  /// `detail::kInlineCallbackCapacity` bytes are stored inline in the
-  /// pooled record (no allocation); larger ones are boxed.
+  /// `detail::kInlineCallbackCapacity` bytes (and at most
+  /// `max_align_t`-aligned — the record buffer guarantees no more) are
+  /// stored inline in the pooled record (no allocation); larger or
+  /// over-aligned ones are boxed.
   template <typename F>
   EventHandle schedule(SimTime when, F&& fn) {
     using Fn = std::decay_t<F>;
@@ -264,14 +276,23 @@ class EventQueue {
     detail::EventCore& core = *core_;
     const std::uint32_t slot = core.acquire_slot();
     detail::EventRecord& r = core.record(slot);
-    if constexpr (sizeof(Fn) <= detail::kInlineCallbackCapacity &&
-                  std::is_nothrow_move_constructible_v<Fn>) {
-      ::new (static_cast<void*>(r.buf)) Fn(std::forward<F>(fn));
-      r.ops = &detail::InlineOps<Fn>::ops;
-    } else {
-      ::new (static_cast<void*>(r.buf)) Fn*(new Fn(std::forward<F>(fn)));
-      r.ops = &detail::BoxedOps<Fn>::ops;
-      core.stats().boxed_callbacks++;
+    // Copy-construction from an lvalue F (or the boxed `new`) may throw
+    // even when the move is noexcept; give the slot back on unwind so it
+    // is not stranded off both the free list and the calendar.
+    try {
+      if constexpr (sizeof(Fn) <= detail::kInlineCallbackCapacity &&
+                    alignof(Fn) <= alignof(std::max_align_t) &&
+                    std::is_nothrow_move_constructible_v<Fn>) {
+        ::new (static_cast<void*>(r.buf)) Fn(std::forward<F>(fn));
+        r.ops = &detail::InlineOps<Fn>::ops;
+      } else {
+        ::new (static_cast<void*>(r.buf)) Fn*(new Fn(std::forward<F>(fn)));
+        r.ops = &detail::BoxedOps<Fn>::ops;
+        core.stats().boxed_callbacks++;
+      }
+    } catch (...) {
+      core.release_unqueued_slot(slot);
+      throw;
     }
     core.enqueue(slot, when);
     return EventHandle(core_, slot, r.gen);

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <array>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "base/alloc_hook.h"
@@ -130,6 +131,54 @@ TEST(EventCore, CancelReclaimsSlotImmediately) {
   EXPECT_EQ(stats.cancelled, 100000u);
   EXPECT_EQ(stats.peak_live, 1u);
   EXPECT_EQ(stats.slabs_allocated, 1u);
+}
+
+TEST(EventCore, HeapCompactionDuringCancelStormKeepsStaleCountExact) {
+  // Regression: cancel() used to run maybe_compact() BEFORE free_slot()
+  // bumped the cancelled key's generation, so that key looked live,
+  // survived the pass, and the stale counter reset to 0 — when the key
+  // later surfaced, skim() underflowed the counter (Debug builds abort
+  // on ES2_DCHECK(stale > 0); NDEBUG builds wrap the size_t). Cancelling
+  // everything in a large batch makes the final skim walk exactly as
+  // many dead keys as the counter recorded, so any miscount trips.
+  Simulator sim;
+  const EventQueueStats& stats = sim.queue().stats();
+  for (int round = 0; round < 4; ++round) {
+    std::vector<EventHandle> near_events;
+    std::vector<EventHandle> far_events;
+    for (int i = 0; i < 300; ++i) {
+      near_events.push_back(sim.after(1, [] {}));      // near heap
+      far_events.push_back(sim.after(sec(3), [] {}));  // far overflow heap
+    }
+    for (EventHandle& h : near_events) h.cancel();
+    for (EventHandle& h : far_events) h.cancel();
+    sim.after(2, [] {});  // forces a skim through the cancelled keys
+    sim.run_for(usec(1));
+  }
+  EXPECT_GT(stats.heap_compactions, 0u)
+      << "storm did not reach the compaction threshold; bump the counts";
+  sim.run_to_completion();
+  EXPECT_EQ(sim.queue().size(), 0u);
+}
+
+TEST(EventCore, ThrowingCallbackStillReclaimsSlotAndDestroysClosure) {
+  // A callback that throws must still have its closure destroyed and its
+  // slot returned to the free list (the seed destroyed its std::function
+  // during unwind); the queue stays usable afterwards.
+  Simulator sim;
+  std::shared_ptr<int> payload = std::make_shared<int>(7);
+  sim.at(usec(1), [keep = payload] {
+    (void)*keep;
+    throw std::runtime_error("boom");
+  });
+  EXPECT_THROW(sim.run_to_completion(), std::runtime_error);
+  EXPECT_EQ(payload.use_count(), 1);  // closure destroyed during unwind
+  EXPECT_EQ(sim.queue().size(), 0u);
+  int fired = 0;
+  sim.at(usec(2), [&] { ++fired; });  // reuses the reclaimed slot
+  EXPECT_EQ(sim.queue().stats().slabs_allocated, 1u);
+  sim.run_to_completion();
+  EXPECT_EQ(fired, 1);
 }
 
 TEST(EventCore, SlotReuseDoesNotConfuseStaleHandle) {
