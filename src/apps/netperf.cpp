@@ -270,22 +270,41 @@ void PeerStreamSender::send_udp_tick() {
 
 void PeerStreamSender::on_packet(const PacketPtr& packet) {
   if (params_.proto != Proto::kTcp) return;
-  if (packet->ack_seq > acked_) acked_ = packet->ack_seq;
+  if (packet->ack_seq > acked_) {
+    acked_ = packet->ack_seq;
+    dup_acks_ = 0;
+  } else if (packet->ack_seq == acked_ && next_seq_ > acked_ &&
+             params_.dupack_threshold > 0) {
+    // Duplicate ACK with data outstanding: the receiver is seeing
+    // past-the-hole segments. Enough of them prove the path is alive and
+    // the hole is real — retransmit without waiting out the RTO. Only one
+    // fast retransmit per window though (NewReno-style recovery point):
+    // the resent window echoes more duplicates for the same hole, and
+    // answering those would retransmit the window once per dup ACK.
+    if (++dup_acks_ >= params_.dupack_threshold && acked_ >= recover_) {
+      dup_acks_ = 0;
+      ++fast_retransmits_;
+      recover_ = next_seq_;
+      next_seq_ = acked_;  // go-back-N from the hole
+      rto_backoff_ = 0;
+    }
+  }
   pump_tcp();
 }
 
 void PeerStreamSender::check_rto() {
   if (!running_) return;
   const SimDuration rto = params_.rto << rto_backoff_;
-  peer_.sim().after(rto, [this] {
+  rto_timer_ = peer_.sim().after(rto, [this] {
     if (!running_) return;
     if (acked_ < next_seq_ && acked_ == acked_at_last_rto_check_) {
       // No progress for a full RTO: go-back-N from the last ACK, with
       // exponential backoff so an overloaded receiver is not buried under
       // duplicate storms.
       ++retransmits_;
+      recover_ = next_seq_;
       next_seq_ = acked_;
-      if (rto_backoff_ < 5) ++rto_backoff_;
+      if (rto_backoff_ < params_.max_rto_backoff) ++rto_backoff_;
       pump_tcp();
     } else {
       rto_backoff_ = 0;

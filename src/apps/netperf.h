@@ -119,15 +119,29 @@ class PeerStreamSender {
     /// the guest's NAPI its interrupt moderation.
     int udp_burst = 16;
     SimDuration rto = msec(10);     // base go-back-N retransmit timeout
+    /// Cap on the RTO exponential-backoff shift: consecutive barren RTOs
+    /// back off to at most rto << max_rto_backoff.
+    int max_rto_backoff = 5;
+    /// Fast retransmit after this many duplicate ACKs (TCP's classic 3);
+    /// <= 0 disables it, leaving RTO-only go-back-N recovery. Disabled by
+    /// default: the guest sink's delayed ACKs repeat the cumulative seq
+    /// under plain overload drops, and go-back-N (no SACK) answering every
+    /// third repeat thrashes a healthy stream. Lossy-link scenarios, where
+    /// holes are real, enable it.
+    int dupack_threshold = 0;
   };
 
   PeerStreamSender(PeerHost& peer, std::uint64_t flow, Params params);
 
   void start();
-  void stop() { running_ = false; }
+  void stop() {
+    running_ = false;
+    rto_timer_.cancel();
+  }
 
   std::int64_t packets_sent() const { return packets_sent_; }
   std::int64_t retransmits() const { return retransmits_; }
+  std::int64_t fast_retransmits() const { return fast_retransmits_; }
 
  private:
   void pump_tcp();
@@ -144,8 +158,14 @@ class PeerStreamSender {
   std::uint64_t acked_ = 0;
   std::uint64_t acked_at_last_rto_check_ = 0;
   int rto_backoff_ = 0;  // exponential backoff shift, capped
+  int dup_acks_ = 0;     // consecutive duplicate ACKs at acked_
+  /// Highest sequence sent when the last retransmit started; dup ACKs
+  /// below this are part of the same recovery, not a new hole.
+  std::uint64_t recover_ = 0;
+  EventHandle rto_timer_;
   std::int64_t packets_sent_ = 0;
   std::int64_t retransmits_ = 0;
+  std::int64_t fast_retransmits_ = 0;
 };
 
 }  // namespace es2

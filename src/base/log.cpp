@@ -39,6 +39,23 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
+bool LogRateLimiter::allow(SimTime now, std::int64_t* suppressed) {
+  if (!started_ || now >= window_start_ + window_ || now < window_start_) {
+    started_ = true;
+    window_start_ = now;
+    in_window_ = 0;
+  }
+  if (max_ > 0 && in_window_ >= max_) {
+    ++since_last_allowed_;
+    ++total_suppressed_;
+    return false;
+  }
+  ++in_window_;
+  if (suppressed != nullptr) *suppressed = since_last_allowed_;
+  since_last_allowed_ = 0;
+  return true;
+}
+
 Logger& Logger::instance() {
   static Logger logger;
   return logger;

@@ -62,6 +62,10 @@ class Core {
   /// Fraction of time this core was busy since simulation start.
   double utilization(SimTime now) const { return busy_.average(now); }
 
+  /// Floor of the core's virtual-runtime clock; must never move backwards
+  /// (exposed for invariant auditing).
+  double min_vruntime() const { return min_vruntime_; }
+
   std::uint64_t context_switches() const { return context_switches_; }
 
  private:

@@ -1,0 +1,105 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+
+#include "base/assert.h"
+
+namespace es2 {
+
+FaultInjector::FaultInjector(Simulator& sim, FaultPlan plan)
+    : sim_(sim),
+      plan_(plan),
+      rng_(sim.make_rng("fault")),
+      warn_limit_(msec(10), 4) {
+  ES2_CHECK(plan_.link_loss >= 0 && plan_.link_loss <= 1);
+  ES2_CHECK(plan_.kick_loss >= 0 && plan_.kick_loss <= 1);
+  ES2_CHECK(plan_.msi_loss >= 0 && plan_.msi_loss <= 1);
+}
+
+bool FaultInjector::drop_packet() {
+  double p = plan_.link_loss;
+  if (plan_.link_burst.enabled()) {
+    // Advance the two-state chain once per packet, then add the state's
+    // loss probability on top of the i.i.d. floor.
+    const GilbertElliott& ge = plan_.link_burst;
+    if (burst_bad_) {
+      if (rng_.bernoulli(ge.p_bad_to_good)) burst_bad_ = false;
+    } else {
+      if (rng_.bernoulli(ge.p_good_to_bad)) burst_bad_ = true;
+    }
+    p = std::min(1.0, p + (burst_bad_ ? ge.loss_bad : ge.loss_good));
+  }
+  if (p <= 0 || !rng_.bernoulli(p)) return false;
+  ++stats_.link_dropped;
+  ES2_WARN_RL(warn_limit_, sim_.now(), "fault: link dropped packet #%lld",
+              static_cast<long long>(stats_.link_dropped));
+  return true;
+}
+
+bool FaultInjector::duplicate_packet() {
+  if (plan_.link_duplicate <= 0 || !rng_.bernoulli(plan_.link_duplicate)) {
+    return false;
+  }
+  ++stats_.link_duplicated;
+  return true;
+}
+
+SimDuration FaultInjector::reorder_extra_delay() {
+  if (plan_.link_reorder <= 0 || !rng_.bernoulli(plan_.link_reorder)) {
+    return 0;
+  }
+  ++stats_.link_reordered;
+  return std::max<SimDuration>(
+      1, rng_.uniform(plan_.link_reorder_delay / 2,
+                      plan_.link_reorder_delay * 3 / 2));
+}
+
+FaultInjector::KickFate FaultInjector::kick_fate() {
+  if (plan_.kick_loss > 0 && rng_.bernoulli(plan_.kick_loss)) {
+    ++stats_.kicks_dropped;
+    ES2_WARN_RL(warn_limit_, sim_.now(), "fault: eventfd kick swallowed (#%lld)",
+                static_cast<long long>(stats_.kicks_dropped));
+    return KickFate::kDrop;
+  }
+  if (plan_.kick_delay_prob > 0 && rng_.bernoulli(plan_.kick_delay_prob)) {
+    ++stats_.kicks_delayed;
+    return KickFate::kDelay;
+  }
+  return KickFate::kDeliver;
+}
+
+bool FaultInjector::drop_msi() {
+  if (plan_.msi_loss <= 0 || !rng_.bernoulli(plan_.msi_loss)) return false;
+  ++stats_.msis_dropped;
+  ES2_WARN_RL(warn_limit_, sim_.now(), "fault: MSI dropped (#%lld)",
+              static_cast<long long>(stats_.msis_dropped));
+  return true;
+}
+
+SimDuration FaultInjector::worker_stall() {
+  if (plan_.worker_stall_prob <= 0 ||
+      !rng_.bernoulli(plan_.worker_stall_prob)) {
+    return 0;
+  }
+  ++stats_.worker_stalls;
+  return std::max<SimDuration>(
+      1, static_cast<SimDuration>(
+             rng_.exponential(static_cast<double>(plan_.worker_stall))));
+}
+
+void FaultInjector::start_spurious(std::function<void()> fire) {
+  ES2_CHECK(plan_.spurious_irq_period > 0);
+  spurious_timer_ = std::make_unique<PeriodicTimer>(
+      sim_, plan_.spurious_irq_period,
+      [this, fire = std::move(fire)] {
+        ++stats_.spurious_irqs;
+        fire();
+      });
+  spurious_timer_->start();
+}
+
+void FaultInjector::stop_spurious() {
+  if (spurious_timer_) spurious_timer_->stop();
+}
+
+}  // namespace es2

@@ -1,0 +1,129 @@
+// Seeded fault injection for the virtual I/O event path.
+//
+// Everything the paper measures assumes the plumbing works; this layer lets
+// scenarios break it on purpose — lossy cables, swallowed eventfd kicks,
+// dropped MSIs, a stalling vhost worker, spurious interrupts — while
+// staying deterministic. The injector draws from its own named RNG stream
+// (`fault`), so two runs with the same seed and the same `FaultPlan`
+// misbehave identically, and a run whose plan is all-off constructs no
+// injector at all: components hold a null `FaultInjector*`, consume no
+// random numbers and schedule no events, leaving golden outputs
+// bit-identical.
+//
+// Injection points live in the components (net::Link, VhostNetBackend,
+// VhostWorker); this file only decides *whether* and *how hard* each fault
+// fires. Recovery from the injected faults is the modeled stack's problem:
+// the guest TX watchdog, the peer's TCP retransmit machinery, and the vhost
+// RX re-poll are exercised, not bypassed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "apic/vectors.h"
+#include "base/log.h"
+#include "base/rng.h"
+#include "base/units.h"
+#include "sim/simulator.h"
+
+namespace es2 {
+
+/// Gilbert–Elliott two-state burst-loss model: the link flips between a
+/// `good` and a `bad` state per packet; each state has its own loss
+/// probability. Captures correlated loss (a flaky transceiver, a congested
+/// switch port) that i.i.d. loss cannot.
+struct GilbertElliott {
+  double p_good_to_bad = 0;  // per-packet transition probability
+  double p_bad_to_good = 0.2;
+  double loss_good = 0;      // loss probability while good
+  double loss_bad = 0.5;     // loss probability while bad
+
+  bool enabled() const { return p_good_to_bad > 0; }
+};
+
+/// Per-scenario fault configuration. Default-constructed == all off.
+struct FaultPlan {
+  // --- wire faults (apply per unidirectional net::Link) -------------------
+  double link_loss = 0;        // i.i.d. drop probability per packet
+  GilbertElliott link_burst;   // burst loss, composed with link_loss
+  double link_reorder = 0;     // probability a packet is held back
+  SimDuration link_reorder_delay = usec(50);  // mean extra delay when held
+  double link_duplicate = 0;   // probability a packet is delivered twice
+
+  // --- event-path faults ---------------------------------------------------
+  double kick_loss = 0;        // eventfd kick swallowed (never reaches vhost)
+  double kick_delay_prob = 0;  // kick arrives late instead of immediately
+  SimDuration kick_delay = usec(25);
+  double msi_loss = 0;         // device MSI dropped before the IRQ router
+  double worker_stall_prob = 0;  // vhost worker preempted mid-loop
+  SimDuration worker_stall = usec(200);  // mean stall (exponential)
+  /// > 0: a spurious (unowned) device-range interrupt is delivered to the
+  /// tested VM with this period.
+  SimDuration spurious_irq_period = 0;
+
+  bool enabled() const {
+    return link_loss > 0 || link_burst.enabled() || link_reorder > 0 ||
+           link_duplicate > 0 || kick_loss > 0 || kick_delay_prob > 0 ||
+           msi_loss > 0 || worker_stall_prob > 0 || spurious_irq_period > 0;
+  }
+};
+
+/// Counts of faults actually fired (not configured rates).
+struct FaultStats {
+  std::int64_t link_dropped = 0;
+  std::int64_t link_reordered = 0;
+  std::int64_t link_duplicated = 0;
+  std::int64_t kicks_dropped = 0;
+  std::int64_t kicks_delayed = 0;
+  std::int64_t msis_dropped = 0;
+  std::int64_t worker_stalls = 0;
+  std::int64_t spurious_irqs = 0;
+};
+
+/// The vector used for injected spurious interrupts: top of the device
+/// range, unclaimed by any modeled device driver.
+inline constexpr Vector kSpuriousFaultVector = 0xEB;
+
+class FaultInjector {
+ public:
+  enum class KickFate { kDeliver, kDrop, kDelay };
+
+  FaultInjector(Simulator& sim, FaultPlan plan);
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  const FaultPlan& plan() const { return plan_; }
+  const FaultStats& stats() const { return stats_; }
+
+  // --- wire (net::Link) ----------------------------------------------------
+  /// Decides the fate of one packet about to be transmitted; advances the
+  /// Gilbert–Elliott chain.
+  bool drop_packet();
+  bool duplicate_packet();
+  /// Extra delivery delay for reordering; 0 means deliver in order.
+  SimDuration reorder_extra_delay();
+
+  // --- event path ----------------------------------------------------------
+  KickFate kick_fate();
+  SimDuration kick_delay() const { return plan_.kick_delay; }
+  bool drop_msi();
+  /// Extra time the vhost worker loses on this dispatch; 0 = no stall.
+  SimDuration worker_stall();
+
+  /// Arms the periodic spurious-interrupt source; `fire` delivers
+  /// kSpuriousFaultVector into the victim VM.
+  void start_spurious(std::function<void()> fire);
+  void stop_spurious();
+
+ private:
+  Simulator& sim_;
+  FaultPlan plan_;
+  FaultStats stats_;
+  Rng rng_;
+  bool burst_bad_ = false;  // Gilbert–Elliott state
+  LogRateLimiter warn_limit_;
+  std::unique_ptr<PeriodicTimer> spurious_timer_;
+};
+
+}  // namespace es2

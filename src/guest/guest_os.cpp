@@ -115,9 +115,11 @@ void GuestOs::take_interrupt(int vcpu_index, Vector vector) {
     }
   }
   if (vector == kLocalTimerVector) {
-    vcpu.guest_exec(params_.timer_handler, [&vcpu] {
-      vcpu.guest_eoi([&vcpu] { vcpu.irq_done(); });
-    });
+    // The tick body also drives the netdev TX watchdog (dev_watchdog runs
+    // off the timer in Linux too); on healthy paths that is a pure state
+    // check costing no extra guest cycles.
+    vcpu.guest_exec(params_.timer_handler,
+                    [this, &vcpu] { netdev_watchdog_tick(vcpu, 0); });
     return;
   }
   if (vector == kRescheduleIpiVector || vector == kCallFunctionIpiVector) {
@@ -130,6 +132,15 @@ void GuestOs::take_interrupt(int vcpu_index, Vector vector) {
   vcpu.guest_exec(params_.resched_ipi_handler, [&vcpu] {
     vcpu.guest_eoi([&vcpu] { vcpu.irq_done(); });
   });
+}
+
+void GuestOs::netdev_watchdog_tick(Vcpu& vcpu, std::size_t i) {
+  if (i >= netdevs_.size()) {
+    vcpu.guest_eoi([&vcpu] { vcpu.irq_done(); });
+    return;
+  }
+  netdevs_[i]->tx_watchdog_tick(
+      vcpu, [this, &vcpu, i] { netdev_watchdog_tick(vcpu, i + 1); });
 }
 
 void GuestOs::deliver_to_stack(Vcpu& vcpu, const PacketPtr& packet,

@@ -121,6 +121,8 @@ class GuestOs final : public GuestCpu {
  private:
   GuestTask* pick_task(int vcpu_index);
   void wake_vcpu_for_task(const GuestTask& task);
+  /// Timer-tick tail: runs each netdev's TX watchdog, then EOIs.
+  void netdev_watchdog_tick(Vcpu& vcpu, std::size_t i);
   friend class GuestTask;
 
   Vm& vm_;

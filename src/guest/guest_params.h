@@ -41,6 +41,18 @@ struct GuestParams {
   SimDuration burn_slice = usec(50);  // CPU-burn work-unit granularity
   Cycles tx_reclaim_per_entry = 250;  // freeing one completed tx descriptor
 
+  // --- netdev TX watchdog ---------------------------------------------------
+  /// Linux dev_watchdog analogue, driven from the guest timer tick: when TX
+  /// descriptors sit unconsumed with no completion progress for two
+  /// consecutive ticks while the host believes the queue idle, the kick was
+  /// lost — re-kick. Off by default: on oversubscribed (macro) topologies
+  /// legitimate multi-tick scheduling stalls trip it, and the extra kicks
+  /// would perturb the golden healthy-path schedules. Chaos scenarios turn
+  /// it on (the tick check itself is free either way).
+  bool tx_watchdog = false;
+  /// Watchdog handler cost when it actually re-kicks (ndo_tx_timeout path).
+  Cycles tx_watchdog_rekick = 2500;
+
   // --- misc ----------------------------------------------------------------
   Cycles rx_refill_per_buffer = 300;
   /// Multiplicative per-work-unit cost jitter (uniform +/- fraction):

@@ -191,6 +191,86 @@ void VirtioNetFrontend::transmit(Vcpu& vcpu, PacketPtr packet,
   done(true);
 }
 
+void VirtioNetFrontend::tx_watchdog_tick(Vcpu& vcpu,
+                                         std::function<void()> done) {
+  Virtqueue& tx = backend_.tx_vq();
+  const std::int64_t used_now = tx.total_used();
+  // TX stall signature: descriptors posted, zero completion progress since
+  // the last tick, and the host sleeping with notifications armed — meaning
+  // it expects a kick that evidently never arrived. Anything else resets the
+  // strike counter (a kick may legitimately be in flight at sampling time).
+  const bool tx_stalled = tx.avail_count() > 0 &&
+                          used_now == watchdog_last_used_ &&
+                          tx.notifications_enabled();
+  watchdog_last_used_ = used_now;
+  // RX missed-interrupt signature (the e1000 watchdog's trick): completed
+  // buffers parked in the used ring, zero consumption progress since the
+  // last tick, device interrupts armed, and no NAPI pass in flight — the
+  // MSI that should have started one evidently never landed, and with
+  // used_event stale no later completion will re-raise it. The progress
+  // term keeps a merely *pending* interrupt (IRR set, not yet serviced)
+  // from ever counting as a stall on healthy paths.
+  const bool rx_stalled = backend_.rx_vq().used_count() > 0 &&
+                          rx_polled_ == rx_watchdog_last_polled_ &&
+                          backend_.rx_vq().interrupts_enabled() &&
+                          !napi_scheduled_;
+  rx_watchdog_last_polled_ = rx_polled_;
+  if (!os_.params().tx_watchdog) {
+    watchdog_strikes_ = 0;
+    rx_watchdog_strikes_ = 0;
+    done();
+    return;
+  }
+
+  // Second half of the tick: recover a lost RX interrupt by running the
+  // NAPI pass it would have started. Same two-strike debounce as TX — an
+  // MSI legitimately in flight at sampling time never trips it.
+  auto rx_stage = [this, &vcpu, rx_stalled,
+                   done = std::move(done)]() mutable {
+    if (!rx_stalled) {
+      rx_watchdog_strikes_ = 0;
+      done();
+      return;
+    }
+    if (++rx_watchdog_strikes_ < 2) {
+      done();
+      return;
+    }
+    rx_watchdog_strikes_ = 0;
+    ++rx_watchdog_polls_;
+    backend_.rx_vq().disable_interrupts();
+    backend_.tx_vq().disable_interrupts();
+    napi_scheduled_ = true;
+    vcpu.guest_exec(os_.params().softirq_entry,
+                    [this, &vcpu, done = std::move(done)]() mutable {
+                      napi_poll(vcpu,
+                                [this, done = std::move(done)]() mutable {
+                                  napi_scheduled_ = false;
+                                  done();
+                                });
+                    });
+  };
+
+  if (!tx_stalled) {
+    watchdog_strikes_ = 0;
+    rx_stage();
+    return;
+  }
+  if (++watchdog_strikes_ < 2) {
+    rx_stage();
+    return;
+  }
+  // Two full tick periods without progress: ndo_tx_timeout. Re-kick.
+  watchdog_strikes_ = 0;
+  ++tx_watchdog_kicks_;
+  ++kicks_;
+  vcpu.guest_exec(os_.params().tx_watchdog_rekick,
+                  [this, &vcpu, rx_stage = std::move(rx_stage)]() mutable {
+                    vcpu.guest_io_kick([this] { backend_.notify_tx(); },
+                                       std::move(rx_stage));
+                  });
+}
+
 void VirtioNetFrontend::add_tx_waiter(GuestTask& task) {
   for (GuestTask* t : tx_waiters_) {
     if (t == &task) return;

@@ -46,9 +46,25 @@ class VirtioNetFrontend {
   /// Registers a task to wake when TX descriptors free up after a stop.
   void add_tx_waiter(GuestTask& task);
 
+  /// Guest netdev watchdog (Linux dev_watchdog analogue), called from the
+  /// timer tick in guest context. If the TX queue looks wedged — posted
+  /// descriptors, no completion progress across two consecutive ticks, and
+  /// the host sleeping with notifications armed (i.e. it expects a kick
+  /// that evidently never arrived) — re-kicks the backend. It also checks
+  /// the RX side for a missed interrupt (used entries parked with
+  /// interrupts armed and no NAPI pass running, two ticks in a row) and
+  /// runs the NAPI poll the lost MSI would have started, the way e1000's
+  /// watchdog recovers missed interrupts. Calls `done` exactly once; on
+  /// healthy paths it is a pure state check.
+  void tx_watchdog_tick(Vcpu& vcpu, std::function<void()> done);
+
   std::int64_t tx_queue_stops() const { return tx_stops_; }
   std::int64_t rx_polled() const { return rx_polled_; }
   std::int64_t kicks() const { return kicks_; }
+  /// Times the TX watchdog fired a recovery re-kick.
+  std::int64_t tx_watchdog_kicks() const { return tx_watchdog_kicks_; }
+  /// Times the watchdog ran a NAPI poll to recover a missed RX interrupt.
+  std::int64_t rx_watchdog_polls() const { return rx_watchdog_polls_; }
 
   VhostNetBackend& backend() { return backend_; }
 
@@ -67,6 +83,15 @@ class VirtioNetFrontend {
   std::int64_t tx_stops_ = 0;
   std::int64_t rx_polled_ = 0;
   std::int64_t kicks_ = 0;
+  // TX watchdog state: completion count at the last tick plus a strike
+  // counter — a re-kick needs the stall to persist across two ticks, so a
+  // kick legitimately in flight at sampling time never trips it.
+  std::int64_t watchdog_last_used_ = 0;
+  int watchdog_strikes_ = 0;
+  std::int64_t tx_watchdog_kicks_ = 0;
+  std::int64_t rx_watchdog_last_polled_ = 0;
+  int rx_watchdog_strikes_ = 0;
+  std::int64_t rx_watchdog_polls_ = 0;
 };
 
 }  // namespace es2

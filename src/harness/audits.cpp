@@ -1,0 +1,105 @@
+#include "harness/audits.h"
+
+#include "base/strings.h"
+
+namespace es2::audits {
+
+InvariantAuditor::Check virtqueue_check(const Virtqueue& vq) {
+  return [&vq, prev_added = std::int64_t{0},
+          prev_used = std::int64_t{0}]() mutable
+             -> std::optional<std::string> {
+    const std::int64_t added = vq.total_added();
+    const std::int64_t used = vq.total_used();
+    std::optional<std::string> result;
+    if (added < prev_added) {
+      result = format("%s: avail index moved backwards (%lld -> %lld)",
+                      vq.name().c_str(), static_cast<long long>(prev_added),
+                      static_cast<long long>(added));
+    } else if (used < prev_used) {
+      result = format("%s: used index moved backwards (%lld -> %lld)",
+                      vq.name().c_str(), static_cast<long long>(prev_used),
+                      static_cast<long long>(used));
+    } else if (used > added) {
+      result = format("%s: used index %lld overtook avail index %lld",
+                      vq.name().c_str(), static_cast<long long>(used),
+                      static_cast<long long>(added));
+    } else if (vq.in_flight() < 0) {
+      result = format("%s: negative in-flight count %d", vq.name().c_str(),
+                      vq.in_flight());
+    } else if (vq.avail_count() + vq.used_count() + vq.in_flight() >
+               vq.capacity()) {
+      result = format("%s: occupancy %d exceeds ring capacity %d",
+                      vq.name().c_str(),
+                      vq.avail_count() + vq.used_count() + vq.in_flight(),
+                      vq.capacity());
+    }
+    prev_added = added;
+    prev_used = used;
+    return result;
+  };
+}
+
+InvariantAuditor::Check lapic_check(Vcpu& vcpu) {
+  return [&vcpu]() -> std::optional<std::string> {
+    const EmulatedLapic& lapic = vcpu.lapic();
+    // With an empty ISR nothing can mask a pending vector, so any pending
+    // interrupt must be deliverable; a stuck IRR here means lost wakeups.
+    if (lapic.has_pending() && lapic.in_service_count() == 0 &&
+        lapic.deliverable() < 0) {
+      return format("vcpu%d: %d pending vector(s) but none deliverable "
+                    "with an empty ISR",
+                    vcpu.index(), lapic.pending_count());
+    }
+    return std::nullopt;
+  };
+}
+
+InvariantAuditor::Check posted_interrupt_check(Vcpu& vcpu) {
+  return [&vcpu]() -> std::optional<std::string> {
+    const PiDescriptor& pi = vcpu.vapic().pi();
+    if (pi.outstanding() && !pi.has_posted()) {
+      return format("vcpu%d: PI notification outstanding (ON set) with an "
+                    "empty PIR",
+                    vcpu.index());
+    }
+    return std::nullopt;
+  };
+}
+
+InvariantAuditor::Check cfs_core_check(const Core& core) {
+  return [&core, prev_min = -1.0]() mutable -> std::optional<std::string> {
+    const double min_vr = core.min_vruntime();
+    std::optional<std::string> result;
+    if (min_vr < prev_min) {
+      result = format("core%d: min_vruntime moved backwards (%f -> %f)",
+                      core.id(), prev_min, min_vr);
+    } else if (core.current() != nullptr &&
+               core.current()->state() != SimThread::State::kRunning) {
+      result = format("core%d: current thread '%s' is not in kRunning",
+                      core.id(), core.current()->name().c_str());
+    } else if (core.nr_running() < (core.current() != nullptr ? 1 : 0)) {
+      result = format("core%d: nr_running %d below running-thread floor",
+                      core.id(), core.nr_running());
+    }
+    prev_min = min_vr;
+    return result;
+  };
+}
+
+void register_standard_checks(InvariantAuditor& auditor, Vm& vm,
+                              VhostNetBackend& backend, CfsScheduler& sched) {
+  auditor.add_check("vq/" + backend.tx_vq().name(),
+                    virtqueue_check(backend.tx_vq()));
+  auditor.add_check("vq/" + backend.rx_vq().name(),
+                    virtqueue_check(backend.rx_vq()));
+  for (int i = 0; i < vm.num_vcpus(); ++i) {
+    auditor.add_check(format("lapic/vcpu%d", i), lapic_check(vm.vcpu(i)));
+    auditor.add_check(format("pi/vcpu%d", i),
+                      posted_interrupt_check(vm.vcpu(i)));
+  }
+  for (int c = 0; c < sched.num_cores(); ++c) {
+    auditor.add_check(format("cfs/core%d", c), cfs_core_check(sched.core(c)));
+  }
+}
+
+}  // namespace es2::audits

@@ -1,0 +1,41 @@
+// Concrete invariant checks for sim::InvariantAuditor.
+//
+// The auditor framework lives in sim/ and is domain-blind; the checks that
+// actually understand virtqueues, APICs and runqueues are built here, in
+// the one library that links every model layer. Each factory returns a
+// self-contained closure (holding any last-seen state it needs for
+// monotonicity checks) that the caller registers under a name.
+#pragma once
+
+#include "cpu/cfs.h"
+#include "sim/invariant_auditor.h"
+#include "virtio/vhost.h"
+#include "virtio/virtqueue.h"
+#include "vm/vcpu.h"
+#include "vm/vm.h"
+
+namespace es2::audits {
+
+/// Virtqueue accounting: avail/used indices monotone, used never overtakes
+/// avail, in-flight non-negative, and total occupancy within capacity.
+InvariantAuditor::Check virtqueue_check(const Virtqueue& vq);
+
+/// Emulated-LAPIC consistency: with nothing in service, any pending vector
+/// must be deliverable (priority masking can only come from the ISR).
+InvariantAuditor::Check lapic_check(Vcpu& vcpu);
+
+/// Posted-interrupt descriptor: an outstanding notification (ON set)
+/// implies at least one posted vector in the PIR.
+InvariantAuditor::Check posted_interrupt_check(Vcpu& vcpu);
+
+/// CFS core accounting: min_vruntime monotone and the running thread (if
+/// any) actually in the kRunning state.
+InvariantAuditor::Check cfs_core_check(const Core& core);
+
+/// Registers the full standard battery for one scenario: both virtqueues
+/// of `backend`, LAPIC + PI state of every vCPU in `vm`, and every core of
+/// `sched`.
+void register_standard_checks(InvariantAuditor& auditor, Vm& vm,
+                              VhostNetBackend& backend, CfsScheduler& sched);
+
+}  // namespace es2::audits

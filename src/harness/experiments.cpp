@@ -33,6 +33,53 @@ TestbedOptions testbed_options(const Es2Config& config, bool macro,
   return o;
 }
 
+/// The netperf endpoints for one stream scenario, attached in a fixed
+/// order so healthy and chaos runs build identical object graphs.
+struct StreamWorkload {
+  std::vector<std::unique_ptr<NetperfSender>> senders;
+  std::vector<std::unique_ptr<PeerStreamReceiver>> peer_rx;
+  std::vector<std::unique_ptr<NetperfReceiver>> guest_rx;
+  std::vector<std::unique_ptr<PeerStreamSender>> peer_tx;
+
+  void attach(Testbed& tb, const StreamOptions& opts) {
+    const int vcpus = tb.tested_vm().num_vcpus();
+    for (int t = 0; t < opts.threads; ++t) {
+      const std::uint64_t flow =
+          kStreamFlowBase + static_cast<std::uint64_t>(t);
+      if (opts.vm_sends) {
+        senders.push_back(std::make_unique<NetperfSender>(
+            tb.guest(), tb.frontend(), flow, opts.proto, opts.msg_size,
+            t % vcpus));
+        tb.guest().add_task(*senders.back());
+        peer_rx.push_back(
+            std::make_unique<PeerStreamReceiver>(tb.peer(), flow, opts.proto));
+      } else {
+        guest_rx.push_back(std::make_unique<NetperfReceiver>(
+            tb.guest(), tb.frontend(), flow, opts.proto));
+        PeerStreamSender::Params p;
+        p.proto = opts.proto;
+        p.msg_size = opts.msg_size;
+        p.udp_rate_pps = opts.udp_offered_pps / opts.threads;
+        p.dupack_threshold = opts.dupack_threshold;
+        peer_tx.push_back(
+            std::make_unique<PeerStreamSender>(tb.peer(), flow, p));
+      }
+    }
+  }
+
+  void start_sources() {
+    for (auto& s : peer_tx) s->start();
+  }
+
+  /// End-to-end delivered packets — the watchdog's figure of merit.
+  std::int64_t packets_delivered() const {
+    std::int64_t pkts = 0;
+    for (const auto& r : peer_rx) pkts += r->packets_received();
+    for (const auto& r : guest_rx) pkts += r->packets_received();
+    return pkts;
+  }
+};
+
 }  // namespace
 
 ExitBreakdown exit_breakdown(const ExitStats& stats, SimTime now) {
@@ -50,85 +97,147 @@ ExitBreakdown exit_breakdown(const ExitStats& stats, SimTime now) {
 // Streams
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// Measurement-window bookkeeping shared by the healthy and chaos runners.
+struct StreamWindow {
+  SimTime start = 0;
+  Bytes bytes_base = 0;
+  std::int64_t pkt_base = 0;
+  std::int64_t kicks_base = 0;
+  std::int64_t irqs_base = 0;
+
+  void open(Testbed& tb, StreamWorkload& w) {
+    start = tb.sim().now();
+    tb.tested_vm().begin_stats_window();
+    for (auto& r : w.peer_rx) r->begin_window(start);
+    for (auto& r : w.guest_rx) {
+      bytes_base += r->bytes_received();
+      pkt_base += r->packets_received();
+    }
+    for (auto& r : w.peer_rx) pkt_base += r->packets_received();
+    kicks_base = tb.frontend().kicks();
+    const int vcpus = tb.tested_vm().num_vcpus();
+    for (int i = 0; i < vcpus; ++i) {
+      irqs_base += tb.tested_vm().vcpu(i).irqs_taken();
+    }
+  }
+
+  StreamResult collect(Testbed& tb, StreamWorkload& w, bool vm_sends) const {
+    const SimTime now = tb.sim().now();
+    const double secs = to_seconds(now - start);
+    StreamResult result;
+    result.exits = exit_breakdown(tb.tested_vm().aggregate_stats(), now);
+    std::int64_t pkts = 0;
+    if (vm_sends) {
+      for (auto& r : w.peer_rx) {
+        result.throughput_mbps += r->throughput_mbps(now);
+        pkts += r->packets_received();
+      }
+    } else {
+      Bytes bytes = 0;
+      for (auto& r : w.guest_rx) {
+        bytes += r->bytes_received();
+        pkts += r->packets_received();
+      }
+      result.throughput_mbps = mbps(bytes - bytes_base, now - start);
+    }
+    if (secs > 0) {
+      result.packets_per_sec = static_cast<double>(pkts - pkt_base) / secs;
+      result.kicks_per_sec =
+          static_cast<double>(tb.frontend().kicks() - kicks_base) / secs;
+      std::int64_t irqs = 0;
+      const int vcpus = tb.tested_vm().num_vcpus();
+      for (int i = 0; i < vcpus; ++i) {
+        irqs += tb.tested_vm().vcpu(i).irqs_taken();
+      }
+      result.guest_irqs_per_sec =
+          static_cast<double>(irqs - irqs_base) / secs;
+    }
+    result.rx_dropped = tb.backend().rx_dropped();
+    result.link_dropped = static_cast<std::int64_t>(
+        tb.vm_to_peer().packets_dropped() + tb.peer_to_vm().packets_dropped());
+    return result;
+  }
+};
+
+}  // namespace
+
 StreamResult run_stream(const StreamOptions& opts) {
   Testbed tb(testbed_options(opts.config, opts.macro, opts.seed));
   if (opts.quota_override > 0) {
     HybridIoHandling::attach(tb.backend(), opts.quota_override);
   }
-
-  const int vcpus = tb.tested_vm().num_vcpus();
-  std::vector<std::unique_ptr<NetperfSender>> senders;
-  std::vector<std::unique_ptr<PeerStreamReceiver>> peer_rx;
-  std::vector<std::unique_ptr<NetperfReceiver>> guest_rx;
-  std::vector<std::unique_ptr<PeerStreamSender>> peer_tx;
-
-  for (int t = 0; t < opts.threads; ++t) {
-    const std::uint64_t flow = kStreamFlowBase + static_cast<std::uint64_t>(t);
-    if (opts.vm_sends) {
-      senders.push_back(std::make_unique<NetperfSender>(
-          tb.guest(), tb.frontend(), flow, opts.proto, opts.msg_size,
-          t % vcpus));
-      tb.guest().add_task(*senders.back());
-      peer_rx.push_back(
-          std::make_unique<PeerStreamReceiver>(tb.peer(), flow, opts.proto));
-    } else {
-      guest_rx.push_back(std::make_unique<NetperfReceiver>(
-          tb.guest(), tb.frontend(), flow, opts.proto));
-      PeerStreamSender::Params p;
-      p.proto = opts.proto;
-      p.msg_size = opts.msg_size;
-      p.udp_rate_pps = opts.udp_offered_pps / opts.threads;
-      peer_tx.push_back(
-          std::make_unique<PeerStreamSender>(tb.peer(), flow, p));
-    }
-  }
+  StreamWorkload w;
+  w.attach(tb, opts);
 
   tb.start();
-  for (auto& s : peer_tx) s->start();
+  w.start_sources();
 
   // Warmup, then open every measurement window at the same instant.
   tb.sim().run_for(opts.warmup);
-  const SimTime window_start = tb.sim().now();
-  tb.tested_vm().begin_stats_window();
-  for (auto& r : peer_rx) r->begin_window(window_start);
-  Bytes bytes_base = 0;
-  std::int64_t pkt_base = 0;
-  for (auto& r : guest_rx) {
-    bytes_base += r->bytes_received();
-    pkt_base += r->packets_received();
-  }
-  for (auto& r : peer_rx) pkt_base += r->packets_received();
-  const std::int64_t kicks_base = tb.frontend().kicks();
-  std::int64_t irqs_base = 0;
-  for (int i = 0; i < vcpus; ++i) irqs_base += tb.tested_vm().vcpu(i).irqs_taken();
-
+  StreamWindow window;
+  window.open(tb, w);
   tb.sim().run_for(opts.measure);
-  const SimTime now = tb.sim().now();
-  const double secs = to_seconds(now - window_start);
+  return window.collect(tb, w, opts.vm_sends);
+}
 
-  StreamResult result;
-  result.exits = exit_breakdown(tb.tested_vm().aggregate_stats(), now);
-  std::int64_t pkts = 0;
-  if (opts.vm_sends) {
-    for (auto& r : peer_rx) {
-      result.throughput_mbps += r->throughput_mbps(now);
-      pkts += r->packets_received();
-    }
-  } else {
-    Bytes bytes = 0;
-    for (auto& r : guest_rx) {
-      bytes += r->bytes_received();
-      pkts += r->packets_received();
-    }
-    result.throughput_mbps = mbps(bytes - bytes_base, now - window_start);
+ChaosStreamResult run_chaos_stream(const ChaosStreamOptions& opts,
+                                   const std::string& name) {
+  TestbedOptions to =
+      testbed_options(opts.stream.config, opts.stream.macro, opts.stream.seed);
+  to.faults = opts.faults;
+  to.audit = opts.audit;
+  to.audit_period = opts.audit_period;
+  to.guest_params.tx_watchdog = opts.tx_watchdog;
+  Testbed tb(to);
+  if (opts.stream.quota_override > 0) {
+    HybridIoHandling::attach(tb.backend(), opts.stream.quota_override);
   }
-  result.packets_per_sec = static_cast<double>(pkts - pkt_base) / secs;
-  result.kicks_per_sec =
-      static_cast<double>(tb.frontend().kicks() - kicks_base) / secs;
-  std::int64_t irqs = 0;
-  for (int i = 0; i < vcpus; ++i) irqs += tb.tested_vm().vcpu(i).irqs_taken();
-  result.guest_irqs_per_sec = static_cast<double>(irqs - irqs_base) / secs;
-  result.rx_dropped = tb.backend().rx_dropped();
+  StreamOptions stream_opts = opts.stream;
+  if (stream_opts.dupack_threshold == 0) {
+    stream_opts.dupack_threshold = opts.dupack_threshold;
+  }
+  StreamWorkload w;
+  w.attach(tb, stream_opts);
+
+  tb.start();
+  w.start_sources();
+
+  ScenarioWatchdog wd(tb.sim(), opts.budget);
+  const auto progress = [&w] { return w.packets_delivered(); };
+
+  StreamWindow window;
+  bool window_open = false;
+  if (wd.run_for(opts.stream.warmup, progress)) {
+    window.open(tb, w);
+    window_open = true;
+    wd.run_for(opts.stream.measure, progress);
+  }
+
+  ChaosStreamResult result;
+  // A tripped warmup never opened a window; report zeros rather than a
+  // window spanning the whole wedge.
+  if (window_open) {
+    result.stream = window.collect(tb, w, opts.stream.vm_sends);
+  } else {
+    result.stream.rx_dropped = tb.backend().rx_dropped();
+    result.stream.link_dropped = static_cast<std::int64_t>(
+        tb.vm_to_peer().packets_dropped() + tb.peer_to_vm().packets_dropped());
+  }
+  if (tb.faults() != nullptr) result.faults = tb.faults()->stats();
+  for (auto& s : w.peer_tx) {
+    result.fast_retransmits += s->fast_retransmits();
+    result.rto_retransmits += s->retransmits();
+  }
+  result.tx_watchdog_kicks = tb.frontend().tx_watchdog_kicks();
+  result.rx_watchdog_polls = tb.frontend().rx_watchdog_polls();
+  result.rx_repolls = tb.backend().rx_repolls();
+  if (tb.auditor() != nullptr) {
+    result.audit_sweeps = tb.auditor()->sweeps();
+    result.audit_violations = tb.auditor()->total_violations();
+  }
+  result.report = wd.report(name);
   return result;
 }
 

@@ -6,9 +6,11 @@
 // share these.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "es2/config.h"
+#include "harness/runner.h"
 #include "harness/testbed.h"
 #include "stats/histogram.h"
 
@@ -44,6 +46,9 @@ struct StreamOptions {
   int quota_override = 0;
   /// Offered load for peer->VM UDP streams.
   double udp_offered_pps = 220000;
+  /// Dup-ACK fast-retransmit threshold for the peer's TCP sender
+  /// (peer->VM streams only); <= 0 keeps RTO-only recovery.
+  int dupack_threshold = 0;
   std::uint64_t seed = 1;
   SimDuration warmup = msec(200);
   SimDuration measure = msec(800);
@@ -55,10 +60,52 @@ struct StreamResult {
   double packets_per_sec = 0;
   double kicks_per_sec = 0;       // guest kick instructions executed
   double guest_irqs_per_sec = 0;  // interrupts taken through the guest IDT
-  std::int64_t rx_dropped = 0;
+  std::int64_t rx_dropped = 0;    // vhost RX ring overflow drops
+  std::int64_t link_dropped = 0;  // wire drops, both directions
 };
 
 StreamResult run_stream(const StreamOptions& opts);
+
+// ---------------------------------------------------------------------------
+// Chaos streams: netperf under seeded faults, with auditing + watchdog
+// ---------------------------------------------------------------------------
+
+struct ChaosStreamOptions {
+  StreamOptions stream;
+  FaultPlan faults;
+  /// Chaos runs face real holes, so fast retransmit defaults on here
+  /// (applied over stream.dupack_threshold when that is unset).
+  int dupack_threshold = 3;
+  /// Disable to demonstrate an unrecovered wedge (100% kick loss with no
+  /// guest TX watchdog must be caught by the scenario watchdog instead).
+  bool tx_watchdog = true;
+  bool audit = true;
+  SimDuration audit_period = msec(1);
+  ScenarioBudget budget;
+};
+
+struct ChaosStreamResult {
+  StreamResult stream;
+  FaultStats faults;
+  // Recovery-path activity.
+  std::int64_t fast_retransmits = 0;  // peer TCP dup-ACK retransmits
+  std::int64_t rto_retransmits = 0;   // peer TCP timeout retransmits
+  std::int64_t tx_watchdog_kicks = 0;  // guest dev_watchdog re-kicks
+  std::int64_t rx_watchdog_polls = 0;  // guest missed-RX-irq NAPI recoveries
+  std::int64_t rx_repolls = 0;         // vhost missed-kick re-polls
+  // Auditor outcome.
+  std::uint64_t audit_sweeps = 0;
+  std::int64_t audit_violations = 0;
+  // Watchdog verdict for this scenario (status == kOk on a healthy run).
+  ScenarioReport report;
+};
+
+/// run_stream under a fault plan: same topology and workload, but the run
+/// is supervised by a ScenarioWatchdog (progress = packets delivered
+/// end-to-end) and instrumented with the invariant auditor. Never hangs:
+/// a wedged world comes back with report.status != kOk and partial stats.
+ChaosStreamResult run_chaos_stream(const ChaosStreamOptions& opts,
+                                   const std::string& name = "chaos");
 
 // ---------------------------------------------------------------------------
 // Ping RTT (Fig. 7)

@@ -1,0 +1,157 @@
+#include "harness/runner.h"
+
+#include <cstdio>
+#include <exception>
+
+#include "base/assert.h"
+#include "base/log.h"
+#include "base/strings.h"
+#include "harness/parallel.h"
+
+namespace es2 {
+
+const char* to_string(ScenarioStatus status) {
+  switch (status) {
+    case ScenarioStatus::kOk:
+      return "ok";
+    case ScenarioStatus::kSimTimeBudget:
+      return "sim-time-budget";
+    case ScenarioStatus::kEventBudget:
+      return "event-budget";
+    case ScenarioStatus::kNoProgress:
+      return "no-progress";
+    case ScenarioStatus::kException:
+      return "exception";
+  }
+  return "?";
+}
+
+std::string ScenarioReport::to_line() const {
+  if (ok()) {
+    return format("OK %s: %llu events, sim %.3f ms", name.c_str(),
+                  static_cast<unsigned long long>(events),
+                  static_cast<double>(sim_now) / 1e6);
+  }
+  return format("WATCHDOG %s: %s at sim %.3f ms after %llu events (%s)",
+                name.c_str(), to_string(status),
+                static_cast<double>(sim_now) / 1e6,
+                static_cast<unsigned long long>(events), detail.c_str());
+}
+
+ScenarioWatchdog::ScenarioWatchdog(Simulator& sim, ScenarioBudget budget)
+    : sim_(sim),
+      budget_(budget),
+      start_(sim.now()),
+      events_start_(sim.events_executed()) {
+  ES2_CHECK(budget_.progress_window > 0);
+  ES2_CHECK(budget_.stall_windows > 0);
+}
+
+bool ScenarioWatchdog::run_for(SimDuration span,
+                               const ProgressProbe& progress) {
+  if (status_ != ScenarioStatus::kOk) return false;
+  const SimTime span_end = sim_.now() + span;
+  while (status_ == ScenarioStatus::kOk && sim_.now() < span_end) {
+    const std::uint64_t spent = sim_.events_executed() - events_start_;
+    if (spent >= budget_.max_events) {
+      trip(ScenarioStatus::kEventBudget,
+           format("event budget %llu exhausted",
+                  static_cast<unsigned long long>(budget_.max_events)));
+      break;
+    }
+    if (sim_.now() - start_ >= budget_.max_sim_time) {
+      trip(ScenarioStatus::kSimTimeBudget,
+           format("sim-time budget %.3f ms exhausted",
+                  static_cast<double>(budget_.max_sim_time) / 1e6));
+      break;
+    }
+    SimTime slice_end = sim_.now() + budget_.progress_window;
+    if (slice_end > span_end) slice_end = span_end;
+    // Cap the slice by the remaining event budget too: a same-timestamp
+    // livelock never advances the clock, so without the cap one slice
+    // would spin forever inside run_until.
+    const std::uint64_t slice_cap = budget_.max_events - spent;
+    const std::uint64_t executed = sim_.run_until_capped(slice_end, slice_cap);
+    if (progress) {
+      const std::int64_t current = progress();
+      if (executed > 0 && current == last_progress_) {
+        // Events churned through a whole window yet the figure of merit
+        // did not move — count towards a stall verdict.
+        if (++flat_windows_ >= budget_.stall_windows) {
+          trip(ScenarioStatus::kNoProgress,
+               format("progress flat at %lld for %d windows (%.3f ms)",
+                      static_cast<long long>(current), flat_windows_,
+                      static_cast<double>(flat_windows_ *
+                                          budget_.progress_window) /
+                          1e6));
+          break;
+        }
+      } else {
+        flat_windows_ = 0;
+        last_progress_ = current;
+      }
+    }
+  }
+  return status_ == ScenarioStatus::kOk;
+}
+
+void ScenarioWatchdog::trip(ScenarioStatus status, std::string detail) {
+  if (status_ != ScenarioStatus::kOk) return;
+  status_ = status;
+  detail_ = std::move(detail);
+  ES2_WARN(sim_.now(), "watchdog tripped: %s (%s)", to_string(status_),
+           detail_.c_str());
+}
+
+ScenarioReport ScenarioWatchdog::report(std::string name) const {
+  ScenarioReport r;
+  r.name = std::move(name);
+  r.status = status_;
+  r.sim_now = sim_.now();
+  r.events = sim_.events_executed() - events_start_;
+  r.detail = detail_;
+  return r;
+}
+
+void ExperimentRunner::add(std::string name, ScenarioFn fn) {
+  entries_.push_back({std::move(name), std::move(fn)});
+}
+
+void ExperimentRunner::run_all() {
+  reports_.assign(entries_.size(), ScenarioReport{});
+  parallel_for(
+      static_cast<int>(entries_.size()),
+      [this](int i) {
+        const Entry& e = entries_[static_cast<std::size_t>(i)];
+        ScenarioReport& slot = reports_[static_cast<std::size_t>(i)];
+        try {
+          slot = e.fn(e.name);
+          slot.name = e.name;
+        } catch (const std::exception& ex) {
+          slot.name = e.name;
+          slot.status = ScenarioStatus::kException;
+          slot.detail = ex.what();
+        } catch (...) {
+          slot.name = e.name;
+          slot.status = ScenarioStatus::kException;
+          slot.detail = "unknown exception";
+        }
+      },
+      threads_);
+}
+
+bool ExperimentRunner::all_ok() const {
+  if (reports_.size() != entries_.size()) return false;
+  for (const ScenarioReport& r : reports_) {
+    if (!r.ok()) return false;
+  }
+  return true;
+}
+
+void ExperimentRunner::print_failures(std::FILE* out) const {
+  for (const ScenarioReport& r : reports_) {
+    if (!r.ok()) std::fprintf(out, "%s\n", r.to_line().c_str());
+  }
+}
+
+}  // namespace es2

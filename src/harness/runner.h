@@ -1,0 +1,123 @@
+// Scenario budgets, the no-progress watchdog, and the sweep runner.
+//
+// A chaos sweep intentionally runs scenarios that may wedge: 100% kick
+// loss with the guest watchdog off is *supposed* to stall forever. Without
+// supervision one such scenario hangs the whole bench process. The
+// watchdog runs each scenario in bounded slices (sim-time budget, event
+// budget, progress probes) and converts a hang or livelock into a
+// structured `ScenarioReport`; `ExperimentRunner` keeps the rest of the
+// sweep going and turns any failure into a non-zero process exit.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace es2 {
+
+struct ScenarioBudget {
+  /// Hard ceiling on total simulated time across all run_for spans.
+  SimDuration max_sim_time = sec(30);
+  /// Hard ceiling on events executed under the watchdog (catches
+  /// same-timestamp livelocks that never advance the clock).
+  std::uint64_t max_events = 500'000'000;
+  /// Slice length between budget/progress checks.
+  SimDuration progress_window = msec(50);
+  /// Consecutive event-churning windows without progress before the
+  /// scenario is declared stalled.
+  int stall_windows = 8;
+};
+
+enum class ScenarioStatus {
+  kOk,
+  kSimTimeBudget,  // exceeded max_sim_time
+  kEventBudget,    // exceeded max_events (livelock signature)
+  kNoProgress,     // events churn but the progress probe is flat
+  kException,      // the scenario body threw
+};
+
+const char* to_string(ScenarioStatus status);
+
+struct ScenarioReport {
+  std::string name;
+  ScenarioStatus status = ScenarioStatus::kOk;
+  SimTime sim_now = 0;
+  std::uint64_t events = 0;
+  std::string detail;
+
+  bool ok() const { return status == ScenarioStatus::kOk; }
+  /// One-line structured form, grep-able as "WATCHDOG <name>: ...".
+  std::string to_line() const;
+};
+
+/// Supervises one Simulator: run in slices, checking budgets and an
+/// application-supplied progress probe between slices. Once tripped the
+/// status is sticky and further run_for calls return immediately.
+class ScenarioWatchdog {
+ public:
+  /// `progress` returns a monotonically non-decreasing figure of merit
+  /// (packets delivered, requests completed); flat progress across
+  /// `stall_windows` event-churning windows means livelock/wedge.
+  using ProgressProbe = std::function<std::int64_t()>;
+
+  ScenarioWatchdog(Simulator& sim, ScenarioBudget budget);
+
+  /// Runs the simulation for `span` (or until a budget trips). Returns
+  /// true if the span completed with budgets intact.
+  bool run_for(SimDuration span, const ProgressProbe& progress);
+
+  ScenarioStatus status() const { return status_; }
+  bool ok() const { return status_ == ScenarioStatus::kOk; }
+  ScenarioReport report(std::string name) const;
+
+ private:
+  void trip(ScenarioStatus status, std::string detail);
+
+  Simulator& sim_;
+  ScenarioBudget budget_;
+  SimTime start_;
+  std::uint64_t events_start_;
+  ScenarioStatus status_ = ScenarioStatus::kOk;
+  std::string detail_;
+  std::int64_t last_progress_ = -1;
+  int flat_windows_ = 0;
+};
+
+/// Runs a set of named scenarios (in parallel — each must own its world),
+/// collecting a report per scenario. Failures never abort the sweep; they
+/// make exit_code() non-zero.
+class ExperimentRunner {
+ public:
+  using ScenarioFn = std::function<ScenarioReport(const std::string& name)>;
+
+  /// `threads` <= 0 uses hardware concurrency.
+  explicit ExperimentRunner(int threads = 0) : threads_(threads) {}
+
+  void add(std::string name, ScenarioFn fn);
+
+  /// Runs every added scenario; exceptions become kException reports.
+  void run_all();
+
+  const std::vector<ScenarioReport>& reports() const { return reports_; }
+  bool all_ok() const;
+  int exit_code() const { return all_ok() ? 0 : 1; }
+
+  /// Prints one structured line per failed scenario (nothing when clean).
+  void print_failures(std::FILE* out) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    ScenarioFn fn;
+  };
+
+  int threads_;
+  std::vector<Entry> entries_;
+  std::vector<ScenarioReport> reports_;
+};
+
+}  // namespace es2

@@ -2,6 +2,7 @@
 
 #include "base/assert.h"
 #include "base/strings.h"
+#include "harness/audits.h"
 
 namespace es2 {
 
@@ -37,6 +38,29 @@ Testbed::Testbed(TestbedOptions options) : options_(std::move(options)) {
       [this](PacketPtr p) { backend_->receive_from_wire(std::move(p)); });
   frontend_ = std::make_unique<VirtioNetFrontend>(*guests_[0], *backend_);
   es2_->enable_for(host_->vm(0), *backend_);
+
+  if (o.faults.enabled()) {
+    faults_ = std::make_unique<FaultInjector>(*sim_, o.faults);
+    link_->a_to_b.set_fault_injector(faults_.get());
+    link_->b_to_a.set_fault_injector(faults_.get());
+    backend_->set_fault_injector(faults_.get());
+    worker_->set_fault_injector(faults_.get());
+    if (o.faults.spurious_irq_period > 0) {
+      // Spurious vectors round-robin over the tested VM's vCPUs.
+      faults_->start_spurious([this, next = 0]() mutable {
+        Vm& vm = host_->vm(0);
+        vm.vcpu(next).deliver_interrupt(kSpuriousFaultVector);
+        next = (next + 1) % vm.num_vcpus();
+      });
+    }
+  }
+
+  if (o.audit) {
+    auditor_ = std::make_unique<InvariantAuditor>(*sim_, o.audit_period);
+    audits::register_standard_checks(*auditor_, host_->vm(0), *backend_,
+                                     host_->sched());
+    auditor_->start();
+  }
 
   if (o.cpu_burn) {
     for (int v = 0; v < o.num_vms; ++v) {

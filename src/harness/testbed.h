@@ -18,10 +18,12 @@
 
 #include "apps/burn.h"
 #include "es2/es2.h"
+#include "fault/fault.h"
 #include "guest/guest_os.h"
 #include "guest/virtio_net.h"
 #include "net/link.h"
 #include "net/peer.h"
+#include "sim/invariant_auditor.h"
 #include "virtio/vhost.h"
 #include "vm/vm.h"
 
@@ -46,6 +48,12 @@ struct TestbedOptions {
   GuestParams guest_params;
   VhostNetParams vhost_params;
   int guest_timer_hz = 250;
+  /// Seeded fault plan. All-zero (the default) builds no injector at all,
+  /// so healthy runs draw zero fault RNG numbers and stay bit-identical.
+  FaultPlan faults;
+  /// Run the invariant auditor over the tested VM's event path.
+  bool audit = false;
+  SimDuration audit_period = msec(1);
 };
 
 class Testbed {
@@ -70,6 +78,10 @@ class Testbed {
   Link& vm_to_peer() { return link_->a_to_b; }
   Link& peer_to_vm() { return link_->b_to_a; }
 
+  /// Null when the fault plan is empty / auditing is off.
+  FaultInjector* faults() { return faults_.get(); }
+  InvariantAuditor* auditor() { return auditor_.get(); }
+
   /// Starts every VM (vCPUs + guest timers).
   void start();
 
@@ -89,6 +101,8 @@ class Testbed {
   std::unique_ptr<VhostNetBackend> backend_;
   std::unique_ptr<VirtioNetFrontend> frontend_;
   std::vector<std::unique_ptr<CpuBurnTask>> burn_tasks_;
+  std::unique_ptr<FaultInjector> faults_;
+  std::unique_ptr<InvariantAuditor> auditor_;
 };
 
 }  // namespace es2

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/assert.h"
+#include "fault/fault.h"
 
 namespace es2 {
 
@@ -24,7 +25,20 @@ void Link::transmit(PacketPtr packet) {
   line_free_at_ = done;
   packets_.add(1);
   bytes_.add(packet->wire_size);
-  sim_.at(done + latency_, [this, packet = std::move(packet)]() mutable {
+  SimDuration extra = 0;
+  if (faults_ != nullptr) {
+    // The sender still serializes a lost packet onto the wire; it just
+    // never reaches the far NIC.
+    if (faults_->drop_packet()) {
+      dropped_.add(1);
+      return;
+    }
+    if (faults_->duplicate_packet()) {
+      sim_.at(done + latency_ + 1, [this, packet] { receiver_(packet); });
+    }
+    extra = faults_->reorder_extra_delay();
+  }
+  sim_.at(done + latency_ + extra, [this, packet = std::move(packet)]() mutable {
     receiver_(std::move(packet));
   });
 }

@@ -16,6 +16,8 @@
 
 namespace es2 {
 
+class FaultInjector;
+
 class Link {
  public:
   using Receiver = std::function<void(PacketPtr)>;
@@ -25,12 +27,18 @@ class Link {
 
   void set_receiver(Receiver receiver) { receiver_ = std::move(receiver); }
 
+  /// Attaches a fault injector (loss / reorder / duplication). Null (the
+  /// default) keeps the link perfect and draws no random numbers.
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+
   /// Queues a packet for transmission; delivery happens after
   /// serialization + propagation.
   void transmit(PacketPtr packet);
 
   std::int64_t packets_sent() const { return packets_.value(); }
   Bytes bytes_sent() const { return bytes_.value(); }
+  /// Packets lost on the wire (fault injection); a perfect link stays 0.
+  std::int64_t packets_dropped() const { return dropped_.value(); }
 
  private:
   SimDuration serialization_delay(Bytes size) const;
@@ -39,9 +47,11 @@ class Link {
   double bandwidth_bps_;
   SimDuration latency_;
   Receiver receiver_;
+  FaultInjector* faults_ = nullptr;
   SimTime line_free_at_ = 0;  // when the serializer becomes idle
   Counter packets_;
   Counter bytes_;
+  Counter dropped_;
 };
 
 /// Full-duplex cable: two independent directions.

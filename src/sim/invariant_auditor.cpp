@@ -1,0 +1,36 @@
+#include "sim/invariant_auditor.h"
+
+#include "base/log.h"
+
+namespace es2 {
+
+InvariantAuditor::InvariantAuditor(Simulator& sim, SimDuration period)
+    : sim_(sim), timer_(sim, period, [this] { run_now(); }) {}
+
+void InvariantAuditor::add_check(std::string name, Check check) {
+  checks_.push_back(Named{std::move(name), std::move(check)});
+}
+
+void InvariantAuditor::start() { timer_.start(); }
+
+void InvariantAuditor::stop() { timer_.stop(); }
+
+int InvariantAuditor::run_now() {
+  ++sweeps_;
+  int found = 0;
+  for (Named& c : checks_) {
+    std::optional<std::string> violation = c.check();
+    if (!violation.has_value()) continue;
+    ++found;
+    ++total_violations_;
+    ES2_ERROR(sim_.now(), "invariant violated [%s]: %s", c.name.c_str(),
+              violation->c_str());
+    if (static_cast<int>(violations_.size()) < kMaxRecorded) {
+      violations_.push_back(
+          Violation{sim_.now(), c.name, std::move(*violation)});
+    }
+  }
+  return found;
+}
+
+}  // namespace es2

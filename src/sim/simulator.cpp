@@ -22,6 +22,22 @@ std::uint64_t Simulator::run_until(SimTime deadline) {
   return executed;
 }
 
+std::uint64_t Simulator::run_until_capped(SimTime deadline,
+                                          std::uint64_t max_events) {
+  std::uint64_t executed = 0;
+  while (executed < max_events && queue_.has_next() &&
+         queue_.next_time() <= deadline) {
+    now_ = queue_.next_time();
+    queue_.pop_and_run();
+    ++executed;
+  }
+  // Only a run that genuinely drained the span may claim the deadline as
+  // its new clock; a capped stop resumes where it left off.
+  if (executed < max_events && now_ < deadline) now_ = deadline;
+  events_executed_ += executed;
+  return executed;
+}
+
 std::uint64_t Simulator::run_to_completion() {
   std::uint64_t executed = 0;
   while (queue_.has_next()) {

@@ -65,6 +65,14 @@ class Simulator {
   /// Returns the number of events executed.
   std::uint64_t run_until(SimTime deadline);
 
+  /// Like run_until, but also stops after `max_events` events even if the
+  /// clock has not reached `deadline`. This is the watchdog primitive: a
+  /// same-timestamp livelock (an event endlessly rescheduling itself "now")
+  /// never advances the clock, so only an event cap can regain control.
+  /// When the cap stops the run early the clock is NOT advanced to the
+  /// deadline. Returns the number of events executed.
+  std::uint64_t run_until_capped(SimTime deadline, std::uint64_t max_events);
+
   /// Runs events for `span` from the current time.
   std::uint64_t run_for(SimDuration span) { return run_until(now_ + span); }
 

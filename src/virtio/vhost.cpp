@@ -2,6 +2,7 @@
 
 #include "base/assert.h"
 #include "base/strings.h"
+#include "fault/fault.h"
 
 namespace es2 {
 
@@ -81,6 +82,11 @@ void VhostWorker::main_loop() {
       wait += static_cast<SimDuration>(
           rng_.uniform(wakeup_fast_ / 2, wakeup_fast_ * 3 / 2));
     }
+  }
+  if (faults_ != nullptr) {
+    // Injected dispatch stall: the worker got preempted / hit a softirq
+    // storm before reaching this handler.
+    wait += faults_->worker_stall();
   }
   thread_.exec(wait + host_.costs().ns(kLoopOverhead), [this, handler] {
     handler->service(*this, [this, handler](bool requeue) {
@@ -198,6 +204,9 @@ class VhostNetBackend::RxHandler final : public VqHandler {
         poll(worker, std::move(done));
         return;
       }
+      // Under fault injection the refill kick itself may be swallowed:
+      // schedule a re-poll so a lost kick degrades to latency, not a wedge.
+      backend_.arm_rx_repoll();
       done(false);
       return;
     }
@@ -273,6 +282,7 @@ Cycles VhostNetBackend::rx_cost(const PacketPtr& p) {
 
 void VhostNetBackend::raise_msi(const MsiMessage& msi) {
   if (msi_filter_ && !msi_filter_(msi)) return;  // coalesced
+  if (faults_ != nullptr && faults_->drop_msi()) return;
   vm_.host().router().deliver_msi(vm_, msi);
 }
 
@@ -280,9 +290,53 @@ void VhostNetBackend::raise_msi_now(const MsiMessage& msi) {
   vm_.host().router().deliver_msi(vm_, msi);
 }
 
-void VhostNetBackend::notify_tx() { worker_.activate(*tx_handler_); }
+void VhostNetBackend::notify_tx() {
+  if (faults_ != nullptr) {
+    switch (faults_->kick_fate()) {
+      case FaultInjector::KickFate::kDrop:
+        return;
+      case FaultInjector::KickFate::kDelay:
+        vm_.host().sim().after(faults_->kick_delay(),
+                               [this] { worker_.activate(*tx_handler_); });
+        return;
+      case FaultInjector::KickFate::kDeliver:
+        break;
+    }
+  }
+  worker_.activate(*tx_handler_);
+}
 
-void VhostNetBackend::notify_rx() { worker_.activate(*rx_handler_); }
+void VhostNetBackend::notify_rx() {
+  if (faults_ != nullptr) {
+    switch (faults_->kick_fate()) {
+      case FaultInjector::KickFate::kDrop:
+        return;
+      case FaultInjector::KickFate::kDelay:
+        vm_.host().sim().after(faults_->kick_delay(),
+                               [this] { worker_.activate(*rx_handler_); });
+        return;
+      case FaultInjector::KickFate::kDeliver:
+        break;
+    }
+  }
+  worker_.activate(*rx_handler_);
+}
+
+void VhostNetBackend::arm_rx_repoll() {
+  if (faults_ == nullptr || params_.rx_repoll_period <= 0) return;
+  if (rx_repoll_.pending()) return;
+  rx_repoll_ = vm_.host().sim().after(params_.rx_repoll_period, [this] {
+    if (sock_buf_.empty()) return;  // drained meanwhile, nothing to recover
+    if (rx_vq_.has_avail()) {
+      // Buffers appeared but the handler is still asleep: the refill kick
+      // was lost. Re-poll in its place.
+      ++rx_repolls_;
+      worker_.activate(*rx_handler_);
+      return;
+    }
+    arm_rx_repoll();  // still waiting on guest buffers
+  });
+}
 
 void VhostNetBackend::receive_from_wire(PacketPtr packet) {
   if (static_cast<int>(sock_buf_.size()) >= params_.sock_buffer) {

@@ -36,6 +36,7 @@
 
 namespace es2 {
 
+class FaultInjector;
 class VhostWorker;
 
 /// One schedulable unit of back-end work (a virtqueue handler).
@@ -103,10 +104,15 @@ class VhostWorker {
   std::uint64_t turns() const { return turns_; }
   SimDuration requeue_delay() const { return requeue_delay_; }
 
+  /// Attaches a fault injector (random dispatch stalls). Null (the
+  /// default) keeps the worker stall-free.
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+
  private:
   void main_loop();
 
   KvmHost& host_;
+  FaultInjector* faults_ = nullptr;
   SimThread thread_;
   SimDuration requeue_delay_;
   SimDuration wakeup_fast_;
@@ -134,6 +140,10 @@ struct VhostNetParams {
   int weight = 256;
   /// Host-side socket buffer (packets) for ingress traffic.
   int sock_buffer = 4096;
+  /// When a fault injector is attached: how often the RX path re-checks
+  /// for guest buffers after going to sleep waiting on a refill kick that
+  /// may have been swallowed. Irrelevant (and never armed) without faults.
+  SimDuration rx_repoll_period = usec(100);
 };
 
 /// vhost-net device instance for one VM: TX + RX virtqueues, their
@@ -173,6 +183,10 @@ class VhostNetBackend {
   /// when their batch/timeout fires).
   void raise_msi_now(const MsiMessage& msi);
 
+  /// Attaches a fault injector (kick loss/delay, MSI drops). Null (the
+  /// default) keeps the event path perfect.
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+
   // --- guest-facing (ioeventfd side of the kick) -------------------------
   void notify_tx();
   void notify_rx();
@@ -181,6 +195,9 @@ class VhostNetBackend {
   void receive_from_wire(PacketPtr packet);
 
   std::int64_t rx_dropped() const { return rx_dropped_; }
+  /// Times the RX re-poll safety net recovered from a (presumed lost)
+  /// refill kick; stays 0 without a fault injector.
+  std::int64_t rx_repolls() const { return rx_repolls_; }
   std::int64_t tx_packets() const { return tx_packets_; }
   std::int64_t rx_packets() const { return rx_packets_; }
   std::int64_t tx_irqs() const { return tx_irqs_; }
@@ -200,6 +217,8 @@ class VhostNetBackend {
   Cycles rx_cost(const PacketPtr& p);
   Cycles jittered(Cycles c);
   void raise_msi(const MsiMessage& msi);
+  /// Schedules the RX missed-kick re-poll (only with faults attached).
+  void arm_rx_repoll();
   int effective_quota() const {
     return poll_quota_ > 0 ? poll_quota_ : params_.weight;
   }
@@ -208,6 +227,8 @@ class VhostNetBackend {
   VhostWorker& worker_;
   Link& tx_link_;
   VhostNetParams params_;
+  FaultInjector* faults_ = nullptr;
+  EventHandle rx_repoll_;
   int poll_quota_ = 0;
   Virtqueue tx_vq_;
   Virtqueue rx_vq_;
@@ -219,6 +240,7 @@ class VhostNetBackend {
   MsiFilter msi_filter_;
   Rng rng_;
   std::int64_t rx_dropped_ = 0;
+  std::int64_t rx_repolls_ = 0;
   std::int64_t tx_packets_ = 0;
   std::int64_t rx_packets_ = 0;
   std::int64_t tx_irqs_ = 0;
