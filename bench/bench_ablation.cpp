@@ -67,6 +67,8 @@ int main(int argc, char** argv) {
       o.seed = args.seed;
       o.warmup = args.fast ? msec(100) : msec(250);
       o.measure = args.fast ? msec(250) : msec(800);
+      // --trace: capture the paper's chosen quota (8).
+      if (quotas[q] == 8) o.trace = trace_request(args);
       quota_results[q] = run_stream(o);
     });
   }
@@ -88,5 +90,7 @@ int main(int argc, char** argv) {
   std::printf("%s", tq.render().c_str());
 
   write_csv(args, "ablation", csv);
+  const StreamResult& traced = quota_results[2];  // quota 8
+  if (!export_trace(args, traced.trace.get(), traced.stages)) return 1;
   return 0;
 }

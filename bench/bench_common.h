@@ -14,6 +14,8 @@
 #include "base/table.h"
 #include "harness/experiments.h"
 #include "harness/parallel.h"
+#include "trace/export.h"
+#include "trace/hooks.h"
 
 namespace es2::bench {
 
@@ -21,18 +23,84 @@ struct BenchArgs {
   bool fast = false;
   std::uint64_t seed = 1;
   std::string out_dir = "bench/out";
+  /// --trace=<path>: run one representative cell with tracing on and
+  /// export its event-path trace as Perfetto JSON to <path>.
+  std::string trace_path;
+  /// --trace-smoke: after exporting, re-read the file, validate the JSON
+  /// and assert the stage latencies are populated; exit nonzero otherwise.
+  bool trace_smoke = false;
 };
 
 inline BenchArgs parse_args(int argc, char** argv) {
   BenchArgs args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--fast") == 0) args.fast = true;
+    if (std::strcmp(argv[i], "--trace-smoke") == 0) args.trace_smoke = true;
     if (std::strncmp(argv[i], "--seed=", 7) == 0) {
       args.seed = std::strtoull(argv[i] + 7, nullptr, 10);
     }
     if (std::strncmp(argv[i], "--out=", 6) == 0) args.out_dir = argv[i] + 6;
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) args.trace_path = argv[i] + 8;
   }
   return args;
+}
+
+/// Trace request for the one bench cell elected to run traced (no-op
+/// TraceOptions when --trace was not given).
+inline TraceOptions trace_request(const BenchArgs& args) {
+  TraceOptions t;
+  t.enabled = !args.trace_path.empty();
+  t.capacity = std::size_t{1} << 18;
+  return t;
+}
+
+/// Exports the traced cell's journey data to --trace=<path> and prints the
+/// stage breakdown. Returns false when --trace-smoke was requested and the
+/// export failed validation (missing records, invalid JSON, empty stages).
+inline bool export_trace(const BenchArgs& args, const TraceData* trace,
+                         const TraceStages& stages) {
+  if (args.trace_path.empty()) return true;
+  if (trace == nullptr || trace->records.empty()) {
+    std::printf(
+        "[trace requested but no records captured — configure with "
+        "-DES2_TRACE=ON to compile the instrumentation hooks]\n");
+    return !args.trace_smoke;
+  }
+  const std::string json = to_perfetto_json(trace->records, trace->spans);
+  if (!write_file(args.trace_path, json)) {
+    std::printf("[trace export to %s failed]\n", args.trace_path.c_str());
+    return false;
+  }
+  std::printf(
+      "[trace: %zu records, %lld journeys (%lld complete) -> %s]\n"
+      "[stages ns p50/p99: kick->backend %lld/%lld, backend->msi %lld/%lld, "
+      "msi->dispatch %lld/%lld, dispatch->eoi %lld/%lld, end-to-end "
+      "%lld/%lld]\n",
+      trace->records.size(), static_cast<long long>(stages.journeys),
+      static_cast<long long>(stages.complete), args.trace_path.c_str(),
+      static_cast<long long>(stages.kick_to_backend_p50),
+      static_cast<long long>(stages.kick_to_backend_p99),
+      static_cast<long long>(stages.backend_to_msi_p50),
+      static_cast<long long>(stages.backend_to_msi_p99),
+      static_cast<long long>(stages.msi_to_dispatch_p50),
+      static_cast<long long>(stages.msi_to_dispatch_p99),
+      static_cast<long long>(stages.dispatch_to_eoi_p50),
+      static_cast<long long>(stages.dispatch_to_eoi_p99),
+      static_cast<long long>(stages.end_to_end_p50),
+      static_cast<long long>(stages.end_to_end_p99));
+  if (!args.trace_smoke) return true;
+  std::string reread;
+  if (!read_file(args.trace_path, &reread) || !json_valid(reread)) {
+    std::printf("[trace smoke FAILED: exported JSON does not parse]\n");
+    return false;
+  }
+  if (stages.complete <= 0 || stages.end_to_end_p50 <= 0 ||
+      stages.msi_to_dispatch_p50 <= 0 || stages.dispatch_to_eoi_p50 <= 0) {
+    std::printf("[trace smoke FAILED: stage latencies not populated]\n");
+    return false;
+  }
+  std::printf("[trace smoke ok]\n");
+  return true;
 }
 
 inline void print_header(const char* id, const char* title) {

@@ -44,6 +44,8 @@ int main(int argc, char** argv) {
         o.seed = args.seed;
         o.warmup = args.fast ? msec(100) : msec(250);
         o.measure = args.fast ? msec(250) : msec(800);
+        // --trace: capture TCP 1024B at the paper-selected quota 4.
+        if (c == 2 && quotas[q] == 4) o.trace = trace_request(args);
         results[c * quotas.size() + q] = run_stream(o);
       });
     }
@@ -73,5 +75,7 @@ int main(int argc, char** argv) {
               "throughput penalty (handler switching overhead), the paper's\n"
               "reason not to go below them.\n");
   write_csv(args, "fig4", csv);
+  const StreamResult& traced = results[2 * quotas.size() + 5];  // TCP, quota 4
+  if (!export_trace(args, traced.trace.get(), traced.stages)) return 1;
   return 0;
 }

@@ -50,6 +50,9 @@ int main(int argc, char** argv) {
         o.seed = args.seed;
         o.warmup = args.fast ? msec(100) : msec(250);
         o.measure = args.fast ? msec(250) : msec(800);
+        // --trace: capture the recv-TCP / PI cell, the paper's canonical
+        // exit-less delivery path.
+        if (c * 3 + s == 7) o.trace = trace_request(args);
         results[c * 3 + s] = run_stream(o);
       });
     }
@@ -76,5 +79,7 @@ int main(int argc, char** argv) {
                 cases[c].paper, t.render().c_str());
   }
   write_csv(args, "fig5", csv);
+  const StreamResult& traced = results[7];
+  if (!export_trace(args, traced.trace.get(), traced.stages)) return 1;
   return 0;
 }

@@ -41,6 +41,11 @@ int main(int argc, char** argv) {
           o.seed = args.seed;
           o.warmup = args.fast ? msec(200) : msec(400);
           o.measure = args.fast ? msec(400) : sec(1);
+          // --trace: capture the receiving PI+H+R cell at the largest
+          // size — the full redirected event path under oversubscription.
+          if (!vm_sends && c == 3 && s == sizes.size() - 1) {
+            o.trace = trace_request(args);
+          }
           results[s * 4 + c] = run_stream(o);
         });
       }
@@ -64,6 +69,10 @@ int main(int argc, char** argv) {
       t.add_row(std::move(row));
     }
     std::printf("%s", t.render().c_str());
+    if (!vm_sends) {
+      const StreamResult& traced = results[(sizes.size() - 1) * 4 + 3];
+      if (!export_trace(args, traced.trace.get(), traced.stages)) return 1;
+    }
   }
   std::printf(
       "\nPaper shape: send PI+13-19%%, +H -> +40%%, +R -> +15%% (~2x);\n"

@@ -30,6 +30,8 @@ int main(int argc, char** argv) {
     o.samples = samples;
     o.interval = interval;
     o.seed = args.seed;
+    // --trace: capture the full-ES2 config, the one the paper plots flat.
+    if (i == 2) o.trace = trace_request(args);
     results[i] = run_ping(o);
   });
 
@@ -51,5 +53,6 @@ int main(int argc, char** argv) {
       "Ours: baseline rides the vCPU scheduling delay (ms-scale), ES2's\n"
       "median is wire-level; residual tail = offline-prediction waits.\n");
   write_csv(args, "fig7", csv);
+  if (!export_trace(args, results[2].trace.get(), results[2].stages)) return 1;
   return 0;
 }

@@ -24,6 +24,8 @@ int main(int argc, char** argv) {
       o.seed = args.seed;
       o.warmup = args.fast ? msec(200) : msec(400);
       o.measure = args.fast ? msec(400) : sec(1);
+      // --trace: capture the full-ES2 memcached cell.
+      if (c == 3) o.trace = trace_request(args);
       mem[c] = run_memcached(o);
     });
     tasks.push_back([&, c] {
@@ -68,5 +70,6 @@ int main(int argc, char** argv) {
   }
   std::printf("%s", ta.render().c_str());
   write_csv(args, "fig8", csv);
+  if (!export_trace(args, mem[3].trace.get(), mem[3].stages)) return 1;
   return 0;
 }

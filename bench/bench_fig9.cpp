@@ -33,6 +33,8 @@ int main(int argc, char** argv) {
         o.rate_per_sec = rates[r];
         o.duration = args.fast ? sec(1) : sec(2);
         o.seed = args.seed;
+        // --trace: capture full ES2 at the lowest (healthy) request rate.
+        if (r == 0 && c == 3) o.trace = trace_request(args);
         results[r * 4 + c] = run_httperf(o);
       });
     }
@@ -59,5 +61,6 @@ int main(int argc, char** argv) {
       "Paper: baseline knee ~1,800/s (SYN backlog overflow + 1s SYN\n"
       "retransmissions), full ES2 stays low until ~2,600/s.\n");
   write_csv(args, "fig9", csv);
+  if (!export_trace(args, results[3].trace.get(), results[3].stages)) return 1;
   return 0;
 }

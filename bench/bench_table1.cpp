@@ -29,6 +29,9 @@ int main(int argc, char** argv) {
   parallel_for(2, [&](int i) {
     StreamOptions o = base_opts;
     o.config = i == 0 ? Es2Config::baseline() : Es2Config::pi();
+    // --trace: capture the Baseline cell — the exit-heavy path the table
+    // dissects.
+    if (i == 0) o.trace = trace_request(args);
     results[i] = run_stream(o);
   });
 
@@ -71,5 +74,6 @@ int main(int argc, char** argv) {
   row("baseline", base);
   row("pi", pi);
   write_csv(args, "table1", csv);
+  if (!export_trace(args, base.trace.get(), base.stages)) return 1;
   return 0;
 }

@@ -5,11 +5,24 @@
 #include "base/assert.h"
 #include "base/log.h"
 #include "cpu/cfs.h"
+#include "trace/hooks.h"
 
 namespace es2 {
 
 namespace {
 std::atomic<std::uint64_t> g_next_thread_id{1};
+
+#if ES2_TRACE_ENABLED
+// Sched records must not carry id_: it comes from a process-global counter,
+// so a second run in the same process would get different values and break
+// byte-identical same-seed traces. Thread names are deterministic; tag the
+// records with an FNV-1a hash of the name instead.
+std::uint32_t trace_thread_tag(const std::string& name) {
+  std::uint32_t h = 2166136261u;
+  for (char c : name) h = (h ^ static_cast<unsigned char>(c)) * 16777619u;
+  return h;
+}
+#endif
 }
 
 SimThread::SimThread(Simulator& sim, std::string name, int weight)
@@ -116,6 +129,12 @@ void SimThread::sched_in(Core& core) {
   state_ = State::kRunning;
   core_ = &core;
   last_ran_start_ = sim_.now();
+#if ES2_TRACE_ENABLED
+  if (Tracer* tr = active_tracer(sim_)) {
+    tr->emit(sim_.now(), TraceKind::kSchedIn, -1, -1, core.id(),
+             trace_thread_tag(name_));
+  }
+#endif
   notify(true);
   if (active_) {
     arm_segment();
@@ -130,6 +149,13 @@ void SimThread::sched_in(Core& core) {
 
 void SimThread::sched_out() {
   ES2_CHECK(state_ == State::kRunning);
+#if ES2_TRACE_ENABLED
+  if (Tracer* tr = active_tracer(sim_)) {
+    tr->emit(sim_.now(), TraceKind::kSchedOut, -1, -1,
+             core_ != nullptr ? core_->id() : -1,
+             trace_thread_tag(name_));
+  }
+#endif
   // CPU-time/vruntime accrual happened in CfsScheduler::account_current.
   freeze_segment();
   state_ = State::kRunnable;

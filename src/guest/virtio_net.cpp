@@ -2,6 +2,7 @@
 
 #include "base/assert.h"
 #include "guest/guest_os.h"
+#include "trace/hooks.h"
 
 namespace es2 {
 
@@ -31,6 +32,13 @@ void VirtioNetFrontend::handle_irq(Vcpu& vcpu, Vector) {
     backend_.rx_vq().disable_interrupts();
     backend_.tx_vq().disable_interrupts();
     napi_scheduled_ = true;
+#if ES2_TRACE_ENABLED
+    if (Tracer* tr = active_tracer(vcpu.vm().host().sim())) {
+      tr->emit(vcpu.vm().host().sim().now(), TraceKind::kNotifyDisable,
+               vcpu.vm().id(), vcpu.index(), -1, /*arg=*/2,
+               tr->current_service(vcpu.vm().id(), vcpu.index()));
+    }
+#endif
     vcpu.guest_eoi([this, &vcpu] {
       const GuestParams& p = os_.params();
       vcpu.guest_exec(p.softirq_entry, [this, &vcpu] {
@@ -44,6 +52,13 @@ void VirtioNetFrontend::handle_irq(Vcpu& vcpu, Vector) {
 }
 
 void VirtioNetFrontend::napi_poll(Vcpu& vcpu, std::function<void()> done) {
+#if ES2_TRACE_ENABLED
+  if (Tracer* tr = active_tracer(vcpu.vm().host().sim())) {
+    tr->emit(vcpu.vm().host().sim().now(), TraceKind::kNapiPoll,
+             vcpu.vm().id(), vcpu.index(), -1, /*arg=*/0,
+             tr->current_service(vcpu.vm().id(), vcpu.index()));
+  }
+#endif
   reclaim_tx(vcpu, [this, &vcpu, done = std::move(done)]() mutable {
     napi_poll_one(vcpu, os_.params().napi_weight, std::move(done));
   });
@@ -105,9 +120,25 @@ void VirtioNetFrontend::finish_poll(Vcpu& vcpu, std::function<void()> done) {
       napi_poll_one(vcpu, os_.params().napi_weight, std::move(done));
       return;
     }
+#if ES2_TRACE_ENABLED
+    if (Tracer* tr = active_tracer(vcpu.vm().host().sim())) {
+      tr->emit(vcpu.vm().host().sim().now(), TraceKind::kNotifyEnable,
+               vcpu.vm().id(), vcpu.index(), -1, /*arg=*/2,
+               tr->current_service(vcpu.vm().id(), vcpu.index()));
+    }
+#endif
     // TX-completion interrupts are armed only while senders wait on a
     // stopped queue; otherwise virtio-net leaves them off.
-    if (!tx_waiters_.empty()) backend_.tx_vq().enable_interrupts();
+    if (!tx_waiters_.empty()) {
+      backend_.tx_vq().enable_interrupts();
+#if ES2_TRACE_ENABLED
+      if (Tracer* tr = active_tracer(vcpu.vm().host().sim())) {
+        tr->emit(vcpu.vm().host().sim().now(), TraceKind::kNotifyEnable,
+                 vcpu.vm().id(), vcpu.index(), -1, /*arg=*/3,
+                 tr->current_service(vcpu.vm().id(), vcpu.index()));
+      }
+#endif
+    }
     vcpu.guest_exec(os_.params().napi_complete, std::move(done));
   });
 }
@@ -154,6 +185,14 @@ void VirtioNetFrontend::refill_rx(Vcpu& vcpu, std::function<void()> done) {
       vcpu.guest_io_kick([this] { backend_.notify_rx(); }, std::move(done));
       return;
     }
+#if ES2_TRACE_ENABLED
+    if (Tracer* tr = active_tracer(vcpu.vm().host().sim())) {
+      // EVENT_IDX said the host is already polling: the refill needed no
+      // exit at all — the suppression win the paper's Table 1 counts.
+      tr->emit(vcpu.vm().host().sim().now(), TraceKind::kKickSuppressed,
+               vcpu.vm().id(), vcpu.index(), -1, /*arg=*/1);
+    }
+#endif
     done();
   });
 }
@@ -188,6 +227,12 @@ void VirtioNetFrontend::transmit(Vcpu& vcpu, PacketPtr packet,
                        [done = std::move(done)] { done(true); });
     return;
   }
+#if ES2_TRACE_ENABLED
+  if (Tracer* tr = active_tracer(vcpu.vm().host().sim())) {
+    tr->emit(vcpu.vm().host().sim().now(), TraceKind::kKickSuppressed,
+             vcpu.vm().id(), vcpu.index(), -1, /*arg=*/0);
+  }
+#endif
   done(true);
 }
 
@@ -238,6 +283,12 @@ void VirtioNetFrontend::tx_watchdog_tick(Vcpu& vcpu,
     }
     rx_watchdog_strikes_ = 0;
     ++rx_watchdog_polls_;
+#if ES2_TRACE_ENABLED
+    if (Tracer* tr = active_tracer(vcpu.vm().host().sim())) {
+      tr->emit(vcpu.vm().host().sim().now(), TraceKind::kWatchdogRecover,
+               vcpu.vm().id(), vcpu.index(), -1, /*arg=*/1);
+    }
+#endif
     backend_.rx_vq().disable_interrupts();
     backend_.tx_vq().disable_interrupts();
     napi_scheduled_ = true;
@@ -264,6 +315,12 @@ void VirtioNetFrontend::tx_watchdog_tick(Vcpu& vcpu,
   watchdog_strikes_ = 0;
   ++tx_watchdog_kicks_;
   ++kicks_;
+#if ES2_TRACE_ENABLED
+  if (Tracer* tr = active_tracer(vcpu.vm().host().sim())) {
+    tr->emit(vcpu.vm().host().sim().now(), TraceKind::kWatchdogRecover,
+             vcpu.vm().id(), vcpu.index(), -1, /*arg=*/0);
+  }
+#endif
   vcpu.guest_exec(os_.params().tx_watchdog_rekick,
                   [this, &vcpu, rx_stage = std::move(rx_stage)]() mutable {
                     vcpu.guest_io_kick([this] { backend_.notify_tx(); },

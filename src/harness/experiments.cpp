@@ -82,6 +82,38 @@ struct StreamWorkload {
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// Traces
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<TraceData> harvest_trace(Testbed& tb) {
+  Tracer* tracer = tb.tracer();
+  if (tracer == nullptr) return nullptr;
+  auto data = std::make_shared<TraceData>();
+  data->records = tracer->snapshot();
+  data->breakdown = build_spans(data->records, &data->spans);
+  return data;
+}
+
+TraceStages trace_stages(const TraceData* data) {
+  TraceStages s;
+  if (data == nullptr) return s;
+  const SpanBreakdown& b = data->breakdown;
+  s.journeys = static_cast<std::int64_t>(data->spans.size());
+  s.complete = b.complete;
+  s.kick_to_backend_p50 = b.kick_to_backend.p50();
+  s.kick_to_backend_p99 = b.kick_to_backend.p99();
+  s.backend_to_msi_p50 = b.backend_to_msi.p50();
+  s.backend_to_msi_p99 = b.backend_to_msi.p99();
+  s.msi_to_dispatch_p50 = b.msi_to_dispatch.p50();
+  s.msi_to_dispatch_p99 = b.msi_to_dispatch.p99();
+  s.dispatch_to_eoi_p50 = b.dispatch_to_eoi.p50();
+  s.dispatch_to_eoi_p99 = b.dispatch_to_eoi.p99();
+  s.end_to_end_p50 = b.end_to_end.p50();
+  s.end_to_end_p99 = b.end_to_end.p99();
+  return s;
+}
+
 ExitBreakdown exit_breakdown(const ExitStats& stats, SimTime now) {
   ExitBreakdown b;
   b.interrupt_delivery = stats.rate(ExitReason::kExternalInterrupt, now);
@@ -164,7 +196,9 @@ struct StreamWindow {
 }  // namespace
 
 StreamResult run_stream(const StreamOptions& opts) {
-  Testbed tb(testbed_options(opts.config, opts.macro, opts.seed));
+  TestbedOptions to = testbed_options(opts.config, opts.macro, opts.seed);
+  to.trace = opts.trace;
+  Testbed tb(to);
   if (opts.quota_override > 0) {
     HybridIoHandling::attach(tb.backend(), opts.quota_override);
   }
@@ -179,7 +213,10 @@ StreamResult run_stream(const StreamOptions& opts) {
   StreamWindow window;
   window.open(tb, w);
   tb.sim().run_for(opts.measure);
-  return window.collect(tb, w, opts.vm_sends);
+  StreamResult result = window.collect(tb, w, opts.vm_sends);
+  result.trace = harvest_trace(tb);
+  result.stages = trace_stages(result.trace.get());
+  return result;
 }
 
 ChaosStreamResult run_chaos_stream(const ChaosStreamOptions& opts,
@@ -190,6 +227,7 @@ ChaosStreamResult run_chaos_stream(const ChaosStreamOptions& opts,
   to.audit = opts.audit;
   to.audit_period = opts.audit_period;
   to.guest_params.tx_watchdog = opts.tx_watchdog;
+  to.trace = opts.stream.trace;
   Testbed tb(to);
   if (opts.stream.quota_override > 0) {
     HybridIoHandling::attach(tb.backend(), opts.stream.quota_override);
@@ -237,6 +275,8 @@ ChaosStreamResult run_chaos_stream(const ChaosStreamOptions& opts,
     result.audit_sweeps = tb.auditor()->sweeps();
     result.audit_violations = tb.auditor()->total_violations();
   }
+  result.stream.trace = harvest_trace(tb);
+  result.stream.stages = trace_stages(result.stream.trace.get());
   result.report = wd.report(name);
   return result;
 }
@@ -246,7 +286,9 @@ ChaosStreamResult run_chaos_stream(const ChaosStreamOptions& opts,
 // ---------------------------------------------------------------------------
 
 PingResult run_ping(const PingOptions& opts) {
-  Testbed tb(testbed_options(opts.config, /*macro=*/true, opts.seed));
+  TestbedOptions to = testbed_options(opts.config, /*macro=*/true, opts.seed);
+  to.trace = opts.trace;
+  Testbed tb(to);
   const std::uint64_t flow = 7;
   PingResponder responder(tb.guest(), tb.frontend(), flow);
   PingClient client(tb.peer(), flow, opts.interval);
@@ -262,6 +304,8 @@ PingResult run_ping(const PingOptions& opts) {
   result.rtt = client.rtt();
   result.samples = client.samples();
   result.lost = client.lost();
+  result.trace = harvest_trace(tb);
+  result.stages = trace_stages(result.trace.get());
   return result;
 }
 
@@ -270,7 +314,9 @@ PingResult run_ping(const PingOptions& opts) {
 // ---------------------------------------------------------------------------
 
 MemcachedResult run_memcached(const MemcachedOptions& opts) {
-  Testbed tb(testbed_options(opts.config, /*macro=*/true, opts.seed));
+  TestbedOptions to = testbed_options(opts.config, /*macro=*/true, opts.seed);
+  to.trace = opts.trace;
+  Testbed tb(to);
   const std::uint64_t base_flow = 1000;
   MemcachedServer server(tb.guest(), tb.frontend(), base_flow,
                          opts.client_threads, opts.workers);
@@ -290,6 +336,8 @@ MemcachedResult run_memcached(const MemcachedOptions& opts) {
   result.ops_per_sec = client.ops_per_sec(tb.sim().now());
   result.throughput_mbps = client.response_mbps(tb.sim().now());
   result.latency = client.latency();
+  result.trace = harvest_trace(tb);
+  result.stages = trace_stages(result.trace.get());
   return result;
 }
 
@@ -298,7 +346,9 @@ MemcachedResult run_memcached(const MemcachedOptions& opts) {
 // ---------------------------------------------------------------------------
 
 ApacheResult run_apache(const ApacheOptions& opts) {
-  Testbed tb(testbed_options(opts.config, /*macro=*/true, opts.seed));
+  TestbedOptions to = testbed_options(opts.config, /*macro=*/true, opts.seed);
+  to.trace = opts.trace;
+  Testbed tb(to);
   const std::uint64_t base_flow = 2000;
   ApacheServer server(tb.guest(), tb.frontend(), base_flow, opts.concurrency,
                       opts.workers);
@@ -313,11 +363,15 @@ ApacheResult run_apache(const ApacheOptions& opts) {
   ApacheResult result;
   result.requests_per_sec = client.requests_per_sec(tb.sim().now());
   result.throughput_mbps = client.response_mbps(tb.sim().now());
+  result.trace = harvest_trace(tb);
+  result.stages = trace_stages(result.trace.get());
   return result;
 }
 
 HttperfResult run_httperf(const HttperfOptions& opts) {
-  Testbed tb(testbed_options(opts.config, /*macro=*/true, opts.seed));
+  TestbedOptions to = testbed_options(opts.config, /*macro=*/true, opts.seed);
+  to.trace = opts.trace;
+  Testbed tb(to);
   const std::uint64_t base_flow = 3000;
   ApacheServer server(tb.guest(), tb.frontend(), base_flow, /*client_conns=*/1,
                       /*workers=*/4);
@@ -336,6 +390,8 @@ HttperfResult run_httperf(const HttperfOptions& opts) {
       static_cast<double>(client.connect_time().p99()) / 1e6;
   result.established = client.established();
   result.retries = client.retries();
+  result.trace = harvest_trace(tb);
+  result.stages = trace_stages(result.trace.get());
   return result;
 }
 

@@ -6,6 +6,7 @@
 // share these.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -13,8 +14,45 @@
 #include "harness/runner.h"
 #include "harness/testbed.h"
 #include "stats/histogram.h"
+#include "trace/span.h"
+#include "trace/trace.h"
 
 namespace es2 {
+
+// ---------------------------------------------------------------------------
+// Event-path traces (shared by every runner)
+// ---------------------------------------------------------------------------
+
+/// Raw harvest from one traced run: the record snapshot plus the stitched
+/// per-I/O journeys and their stage-latency breakdown.
+struct TraceData {
+  std::vector<TraceRecord> records;
+  std::vector<JourneySpan> spans;
+  SpanBreakdown breakdown;
+};
+
+/// Flattened stage-latency summary (ns) for experiment rows / CSV columns.
+struct TraceStages {
+  std::int64_t journeys = 0;
+  std::int64_t complete = 0;
+  std::int64_t kick_to_backend_p50 = 0;
+  std::int64_t kick_to_backend_p99 = 0;
+  std::int64_t backend_to_msi_p50 = 0;
+  std::int64_t backend_to_msi_p99 = 0;
+  std::int64_t msi_to_dispatch_p50 = 0;
+  std::int64_t msi_to_dispatch_p99 = 0;
+  std::int64_t dispatch_to_eoi_p50 = 0;
+  std::int64_t dispatch_to_eoi_p99 = 0;
+  std::int64_t end_to_end_p50 = 0;
+  std::int64_t end_to_end_p99 = 0;
+};
+
+/// Snapshots a testbed's tracer and stitches journeys. Null when the run
+/// was not traced. Call after the measured span, before teardown.
+std::shared_ptr<TraceData> harvest_trace(Testbed& tb);
+
+/// Stage summary of a harvested trace (all zeros for null / empty data).
+TraceStages trace_stages(const TraceData* data);
 
 /// Paper-style exit breakdown (Table I / Fig. 5 rows).
 struct ExitBreakdown {
@@ -52,6 +90,8 @@ struct StreamOptions {
   std::uint64_t seed = 1;
   SimDuration warmup = msec(200);
   SimDuration measure = msec(800);
+  /// Event-path tracing for this run (off by default).
+  TraceOptions trace;
 };
 
 struct StreamResult {
@@ -62,6 +102,9 @@ struct StreamResult {
   double guest_irqs_per_sec = 0;  // interrupts taken through the guest IDT
   std::int64_t rx_dropped = 0;    // vhost RX ring overflow drops
   std::int64_t link_dropped = 0;  // wire drops, both directions
+  /// Null unless the run was traced.
+  std::shared_ptr<TraceData> trace;
+  TraceStages stages;
 };
 
 StreamResult run_stream(const StreamOptions& opts);
@@ -116,12 +159,15 @@ struct PingOptions {
   int samples = 120;
   SimDuration interval = msec(250);
   std::uint64_t seed = 1;
+  TraceOptions trace;
 };
 
 struct PingResult {
   Histogram rtt;                       // ns
   std::vector<SimDuration> samples;    // Fig. 7 is a time series
   std::int64_t lost = 0;
+  std::shared_ptr<TraceData> trace;
+  TraceStages stages;
 };
 
 PingResult run_ping(const PingOptions& opts);
@@ -139,12 +185,15 @@ struct MemcachedOptions {
   std::uint64_t seed = 1;
   SimDuration warmup = msec(300);
   SimDuration measure = sec(1);
+  TraceOptions trace;
 };
 
 struct MemcachedResult {
   double ops_per_sec = 0;
   double throughput_mbps = 0;  // response bytes
   Histogram latency;           // ns per op
+  std::shared_ptr<TraceData> trace;
+  TraceStages stages;
 };
 
 MemcachedResult run_memcached(const MemcachedOptions& opts);
@@ -160,11 +209,14 @@ struct ApacheOptions {
   std::uint64_t seed = 1;
   SimDuration warmup = msec(300);
   SimDuration measure = sec(1);
+  TraceOptions trace;
 };
 
 struct ApacheResult {
   double requests_per_sec = 0;
   double throughput_mbps = 0;
+  std::shared_ptr<TraceData> trace;
+  TraceStages stages;
 };
 
 ApacheResult run_apache(const ApacheOptions& opts);
@@ -174,6 +226,7 @@ struct HttperfOptions {
   double rate_per_sec = 1000;
   SimDuration duration = sec(3);
   std::uint64_t seed = 1;
+  TraceOptions trace;
 };
 
 struct HttperfResult {
@@ -181,6 +234,8 @@ struct HttperfResult {
   double p99_connect_ms = 0;
   std::int64_t established = 0;
   std::int64_t retries = 0;
+  std::shared_ptr<TraceData> trace;
+  TraceStages stages;
 };
 
 HttperfResult run_httperf(const HttperfOptions& opts);

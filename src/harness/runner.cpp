@@ -7,6 +7,7 @@
 #include "base/log.h"
 #include "base/strings.h"
 #include "harness/parallel.h"
+#include "trace/trace.h"
 
 namespace es2 {
 
@@ -99,6 +100,12 @@ void ScenarioWatchdog::trip(ScenarioStatus status, std::string detail) {
   if (status_ != ScenarioStatus::kOk) return;
   status_ = status;
   detail_ = std::move(detail);
+  // With tracing on, point the report at the journey nearest the trip.
+  if (const Tracer* tracer = sim_.tracer();
+      tracer != nullptr && tracer->enabled() && tracer->last_corr() != 0) {
+    detail_ += format(" [near corr=%llu]",
+                      static_cast<unsigned long long>(tracer->last_corr()));
+  }
   ES2_WARN(sim_.now(), "watchdog tripped: %s (%s)", to_string(status_),
            detail_.c_str());
 }

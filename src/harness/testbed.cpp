@@ -12,6 +12,11 @@ Testbed::Testbed(TestbedOptions options) : options_(std::move(options)) {
   ES2_CHECK(o.vhost_core >= 0 && o.vhost_core < o.host_cores);
 
   sim_ = std::make_unique<Simulator>(o.seed);
+  if (o.trace.enabled) {
+    tracer_ = std::make_unique<Tracer>(o.trace);
+    tracer_->enable();
+    sim_->set_tracer(tracer_.get());
+  }
   host_ = std::make_unique<KvmHost>(*sim_, o.host_cores, o.costs);
   es2_ = std::make_unique<Es2System>(*host_, o.config);
 

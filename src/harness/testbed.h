@@ -24,6 +24,7 @@
 #include "net/link.h"
 #include "net/peer.h"
 #include "sim/invariant_auditor.h"
+#include "trace/trace.h"
 #include "virtio/vhost.h"
 #include "vm/vm.h"
 
@@ -54,6 +55,10 @@ struct TestbedOptions {
   /// Run the invariant auditor over the tested VM's event path.
   bool audit = false;
   SimDuration audit_period = msec(1);
+  /// Event-path tracing. `trace.enabled` builds a Tracer and attaches it
+  /// to the simulator; hooks only emit when the build also compiled them
+  /// in (-DES2_TRACE=ON). Off by default: zero records, zero overhead.
+  TraceOptions trace;
 };
 
 class Testbed {
@@ -81,6 +86,8 @@ class Testbed {
   /// Null when the fault plan is empty / auditing is off.
   FaultInjector* faults() { return faults_.get(); }
   InvariantAuditor* auditor() { return auditor_.get(); }
+  /// Null unless options.trace.enabled.
+  Tracer* tracer() { return tracer_.get(); }
 
   /// Starts every VM (vCPUs + guest timers).
   void start();
@@ -103,6 +110,7 @@ class Testbed {
   std::vector<std::unique_ptr<CpuBurnTask>> burn_tasks_;
   std::unique_ptr<FaultInjector> faults_;
   std::unique_ptr<InvariantAuditor> auditor_;
+  std::unique_ptr<Tracer> tracer_;
 };
 
 }  // namespace es2

@@ -1,6 +1,8 @@
 #include "sim/invariant_auditor.h"
 
 #include "base/log.h"
+#include "base/strings.h"
+#include "trace/trace.h"
 
 namespace es2 {
 
@@ -17,17 +19,28 @@ void InvariantAuditor::stop() { timer_.stop(); }
 
 int InvariantAuditor::run_now() {
   ++sweeps_;
+  // When tracing is on, stamp each violation with the journey nearest the
+  // sweep so a failed audit points at a concrete kick->EOI path.
+  std::uint64_t corr = 0;
+  if (const Tracer* tracer = sim_.tracer();
+      tracer != nullptr && tracer->enabled()) {
+    corr = tracer->last_corr();
+  }
   int found = 0;
   for (Named& c : checks_) {
     std::optional<std::string> violation = c.check();
     if (!violation.has_value()) continue;
     ++found;
     ++total_violations_;
+    if (corr != 0) {
+      *violation += format(" [near corr=%llu]",
+                           static_cast<unsigned long long>(corr));
+    }
     ES2_ERROR(sim_.now(), "invariant violated [%s]: %s", c.name.c_str(),
               violation->c_str());
     if (static_cast<int>(violations_.size()) < kMaxRecorded) {
       violations_.push_back(
-          Violation{sim_.now(), c.name, std::move(*violation)});
+          Violation{sim_.now(), c.name, std::move(*violation), corr});
     }
   }
   return found;

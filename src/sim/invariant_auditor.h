@@ -36,6 +36,9 @@ class InvariantAuditor {
     SimTime at = 0;
     std::string check;
     std::string message;
+    /// Correlation id of the journey nearest the violation (the last id an
+    /// attached tracer saw); 0 when tracing is off or no journey ran yet.
+    std::uint64_t corr = 0;
   };
 
   explicit InvariantAuditor(Simulator& sim, SimDuration period = msec(1));

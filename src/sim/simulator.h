@@ -19,6 +19,8 @@
 
 namespace es2 {
 
+class Tracer;
+
 class Simulator {
  public:
   explicit Simulator(std::uint64_t seed = 1);
@@ -82,11 +84,19 @@ class Simulator {
   std::uint64_t events_executed() const { return events_executed_; }
   EventQueue& queue() { return queue_; }
 
+  /// Event-path tracer attached to this world (not owned); null in
+  /// untraced runs. The simulator itself never emits — it only carries the
+  /// pointer so model layers and auditors can reach the tracer without
+  /// threading it through every constructor.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  Tracer* tracer() const { return tracer_; }
+
  private:
   EventQueue queue_;
   SimTime now_ = 0;
   std::uint64_t seed_;
   std::uint64_t events_executed_ = 0;
+  Tracer* tracer_ = nullptr;
 };
 
 /// Repeating timer helper built on Simulator::after.

@@ -1,0 +1,39 @@
+// Compile-time gate for the hot-path trace instrumentation.
+//
+// The trace *library* (Tracer, spans, exporters) is always built and unit
+// tested; only the emit call sites threaded through the model layers are
+// conditional. The build defines ES2_TRACE_ENABLED=1 when configured with
+// -DES2_TRACE=ON; otherwise this header pins it to 0 and every call site
+// wrapped in `#if ES2_TRACE_ENABLED` vanishes, so the default build's
+// event path carries zero tracing instructions and goldens stay
+// bit-identical.
+//
+// Call-site pattern:
+//
+//   #if ES2_TRACE_ENABLED
+//     if (Tracer* tr = active_tracer(sim)) {
+//       tr->emit(sim.now(), TraceKind::kKick, vm, vcpu, cpu, arg, corr);
+//     }
+//   #endif
+#pragma once
+
+#ifndef ES2_TRACE_ENABLED
+#define ES2_TRACE_ENABLED 0
+#endif
+
+#if ES2_TRACE_ENABLED
+
+#include "sim/simulator.h"
+#include "trace/trace.h"
+
+namespace es2 {
+
+/// The simulator's tracer when one is attached and enabled, else null.
+inline Tracer* active_tracer(Simulator& sim) {
+  Tracer* tracer = sim.tracer();
+  return tracer != nullptr && tracer->enabled() ? tracer : nullptr;
+}
+
+}  // namespace es2
+
+#endif  // ES2_TRACE_ENABLED

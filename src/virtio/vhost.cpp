@@ -3,8 +3,17 @@
 #include "base/assert.h"
 #include "base/strings.h"
 #include "fault/fault.h"
+#include "trace/hooks.h"
 
 namespace es2 {
+
+#if ES2_TRACE_ENABLED
+namespace {
+int worker_core(VhostWorker& worker) {
+  return worker.thread().core() != nullptr ? worker.thread().core()->id() : -1;
+}
+}  // namespace
+#endif
 
 // ---------------------------------------------------------------------------
 // VhostWorker
@@ -30,6 +39,12 @@ void VhostWorker::activate(VqHandler& handler) {
   if (handler.queued_) return;
   handler.queued_ = true;
   active_.push_back(&handler);
+#if ES2_TRACE_ENABLED
+  if (Tracer* tr = active_tracer(host_.sim())) {
+    tr->emit(host_.sim().now(), TraceKind::kWorkerWake, -1, -1,
+             worker_core(*this));
+  }
+#endif
   thread_.wake();
 }
 
@@ -110,9 +125,21 @@ class VhostNetBackend::TxHandler final : public VqHandler {
 
   void service(VhostWorker& worker,
                std::function<void(bool)> done) override {
+#if ES2_TRACE_ENABLED
+    if (Tracer* tr = active_tracer(worker.host().sim())) {
+      tr->emit(worker.host().sim().now(), TraceKind::kWorkerTurn, -1, -1,
+               worker_core(worker), /*arg=*/0, backend_.tx_kick_corr_);
+    }
+#endif
     // Algorithm 1 line 8-10: entering a turn disables guest notifications.
     if (backend_.tx_vq().notifications_enabled()) {
       backend_.tx_vq().disable_notifications();
+#if ES2_TRACE_ENABLED
+      if (Tracer* tr = active_tracer(worker.host().sim())) {
+        tr->emit(worker.host().sim().now(), TraceKind::kNotifyDisable, -1, -1,
+                 worker_core(worker), /*arg=*/0, backend_.tx_kick_corr_);
+      }
+#endif
     }
     workload_ = 0;
     poll(worker, std::move(done));
@@ -139,6 +166,12 @@ class VhostNetBackend::TxHandler final : public VqHandler {
         return;
       }
       ++backend_.tx_reverts_;
+#if ES2_TRACE_ENABLED
+      if (Tracer* tr = active_tracer(worker.host().sim())) {
+        tr->emit(worker.host().sim().now(), TraceKind::kNotifyEnable, -1, -1,
+                 worker_core(worker), /*arg=*/0, backend_.tx_kick_corr_);
+      }
+#endif
       done(false);
       return;
     }
@@ -152,6 +185,14 @@ class VhostNetBackend::TxHandler final : public VqHandler {
       if (vq.interrupt_needed()) {
         ++backend_.tx_irqs_;
         backend_.raise_msi(backend_.tx_msi_);
+      } else {
+#if ES2_TRACE_ENABLED
+        if (Tracer* tr = active_tracer(worker.host().sim())) {
+          tr->emit(worker.host().sim().now(), TraceKind::kIrqSuppressed, -1,
+                   -1, worker_core(worker), /*arg=*/0,
+                   backend_.tx_kick_corr_);
+        }
+#endif
       }
       ++workload_;
       poll(worker, std::move(done));
@@ -173,8 +214,20 @@ class VhostNetBackend::RxHandler final : public VqHandler {
 
   void service(VhostWorker& worker,
                std::function<void(bool)> done) override {
+#if ES2_TRACE_ENABLED
+    if (Tracer* tr = active_tracer(worker.host().sim())) {
+      tr->emit(worker.host().sim().now(), TraceKind::kWorkerTurn, -1, -1,
+               worker_core(worker), /*arg=*/1, backend_.rx_kick_corr_);
+    }
+#endif
     if (backend_.rx_vq().notifications_enabled()) {
       backend_.rx_vq().disable_notifications();
+#if ES2_TRACE_ENABLED
+      if (Tracer* tr = active_tracer(worker.host().sim())) {
+        tr->emit(worker.host().sim().now(), TraceKind::kNotifyDisable, -1, -1,
+                 worker_core(worker), /*arg=*/1, backend_.rx_kick_corr_);
+      }
+#endif
     }
     workload_ = 0;
     poll(worker, std::move(done));
@@ -204,6 +257,12 @@ class VhostNetBackend::RxHandler final : public VqHandler {
         poll(worker, std::move(done));
         return;
       }
+#if ES2_TRACE_ENABLED
+      if (Tracer* tr = active_tracer(worker.host().sim())) {
+        tr->emit(worker.host().sim().now(), TraceKind::kNotifyEnable, -1, -1,
+                 worker_core(worker), /*arg=*/1, backend_.rx_kick_corr_);
+      }
+#endif
       // Under fault injection the refill kick itself may be swallowed:
       // schedule a re-poll so a lost kick degrades to latency, not a wedge.
       backend_.arm_rx_repoll();
@@ -223,6 +282,14 @@ class VhostNetBackend::RxHandler final : public VqHandler {
       if (vq.interrupt_needed()) {
         ++backend_.rx_irqs_;
         backend_.raise_msi(backend_.rx_msi_);
+      } else {
+#if ES2_TRACE_ENABLED
+        if (Tracer* tr = active_tracer(worker.host().sim())) {
+          tr->emit(worker.host().sim().now(), TraceKind::kIrqSuppressed, -1,
+                   -1, worker_core(worker), /*arg=*/1,
+                   backend_.rx_kick_corr_);
+        }
+#endif
       }
       ++workload_;
       poll(worker, std::move(done));
@@ -282,18 +349,59 @@ Cycles VhostNetBackend::rx_cost(const PacketPtr& p) {
 
 void VhostNetBackend::raise_msi(const MsiMessage& msi) {
   if (msi_filter_ && !msi_filter_(msi)) return;  // coalesced
+#if ES2_TRACE_ENABLED
+  if (Tracer* tr = active_tracer(vm_.host().sim())) {
+    std::uint64_t corr =
+        msi.vector == tx_msi_.vector ? tx_kick_corr_ : rx_kick_corr_;
+    if (corr == 0) corr = tr->begin_journey();
+    if (faults_ != nullptr && faults_->drop_msi()) {
+      tr->emit(vm_.host().sim().now(), TraceKind::kMsiDrop, vm_.id(), -1,
+               worker_core(worker_), msi.vector, corr);
+      return;
+    }
+    tr->emit(vm_.host().sim().now(), TraceKind::kMsiRaise, vm_.id(), -1,
+             worker_core(worker_), msi.vector, corr);
+    // Hand the journey across the synchronous router -> vcpu delivery.
+    tr->set_inflight(corr);
+    vm_.host().router().deliver_msi(vm_, msi);
+    return;
+  }
+#endif
   if (faults_ != nullptr && faults_->drop_msi()) return;
   vm_.host().router().deliver_msi(vm_, msi);
 }
 
 void VhostNetBackend::raise_msi_now(const MsiMessage& msi) {
+#if ES2_TRACE_ENABLED
+  if (Tracer* tr = active_tracer(vm_.host().sim())) {
+    const std::uint64_t corr = tr->begin_journey();
+    tr->emit(vm_.host().sim().now(), TraceKind::kMsiRaise, vm_.id(), -1,
+             worker_core(worker_), msi.vector, corr);
+    tr->set_inflight(corr);
+  }
+#endif
   vm_.host().router().deliver_msi(vm_, msi);
 }
 
 void VhostNetBackend::notify_tx() {
+#if ES2_TRACE_ENABLED
+  if (Tracer* tr = active_tracer(vm_.host().sim())) {
+    // A TX kick opens a fresh journey: everything the handler does on its
+    // next turn is on this kick's behalf.
+    tx_kick_corr_ = tr->begin_journey();
+    tr->emit(vm_.host().sim().now(), TraceKind::kKick, vm_.id(), -1, -1,
+             /*arg=*/0, tx_kick_corr_);
+  }
+#endif
   if (faults_ != nullptr) {
     switch (faults_->kick_fate()) {
       case FaultInjector::KickFate::kDrop:
+#if ES2_TRACE_ENABLED
+        if (Tracer* tr = active_tracer(vm_.host().sim())) {
+          tr->emit(vm_.host().sim().now(), TraceKind::kKickDrop, vm_.id(), -1,
+                   -1, /*arg=*/0, tx_kick_corr_);
+        }
+#endif
         return;
       case FaultInjector::KickFate::kDelay:
         vm_.host().sim().after(faults_->kick_delay(),
@@ -307,9 +415,25 @@ void VhostNetBackend::notify_tx() {
 }
 
 void VhostNetBackend::notify_rx() {
+#if ES2_TRACE_ENABLED
+  std::uint64_t refill_corr = 0;
+  if (Tracer* tr = active_tracer(vm_.host().sim())) {
+    // A refill kick is bookkeeping, not an I/O request: give it its own id
+    // but leave rx_kick_corr_ (the data-path journey) alone.
+    refill_corr = tr->begin_journey();
+    tr->emit(vm_.host().sim().now(), TraceKind::kKick, vm_.id(), -1, -1,
+             /*arg=*/1, refill_corr);
+  }
+#endif
   if (faults_ != nullptr) {
     switch (faults_->kick_fate()) {
       case FaultInjector::KickFate::kDrop:
+#if ES2_TRACE_ENABLED
+        if (Tracer* tr = active_tracer(vm_.host().sim())) {
+          tr->emit(vm_.host().sim().now(), TraceKind::kKickDrop, vm_.id(), -1,
+                   -1, /*arg=*/1, refill_corr);
+        }
+#endif
         return;
       case FaultInjector::KickFate::kDelay:
         vm_.host().sim().after(faults_->kick_delay(),
@@ -343,6 +467,15 @@ void VhostNetBackend::receive_from_wire(PacketPtr packet) {
     ++rx_dropped_;
     return;
   }
+#if ES2_TRACE_ENABLED
+  if (Tracer* tr = active_tracer(vm_.host().sim())) {
+    // The RX data path has no guest kick; the wire arrival is the
+    // journey's origin (latest arrival wins the batch's id).
+    rx_kick_corr_ = tr->begin_journey();
+    tr->emit(vm_.host().sim().now(), TraceKind::kWireRx, vm_.id(), -1, -1,
+             /*arg=*/0, rx_kick_corr_);
+  }
+#endif
   sock_buf_.push_back(std::move(packet));
   worker_.activate(*rx_handler_);
 }

@@ -247,6 +247,11 @@ class VhostNetBackend {
   std::int64_t rx_irqs_ = 0;
   std::int64_t tx_reverts_ = 0;
   std::int64_t tx_quota_hits_ = 0;
+  // Trace correlation registers: the journey id of the latest TX kick /
+  // RX wire arrival, carried into worker turns and MSI raises. Written
+  // only by the (compile-time gated) trace hooks; inert otherwise.
+  std::uint64_t tx_kick_corr_ = 0;
+  std::uint64_t rx_kick_corr_ = 0;
 };
 
 }  // namespace es2
