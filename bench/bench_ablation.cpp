@@ -90,6 +90,28 @@ int main(int argc, char** argv) {
   std::printf("%s", tq.render().c_str());
 
   write_csv(args, "ablation", csv);
+
+  BenchReport report = make_report(args, "ablation");
+  const char* policy_keys[4] = {"paper", "no_sticky", "round_robin",
+                                "random_offline"};
+  for (int i = 0; i < 4; ++i) {
+    const Histogram& h = ping_results[i].rtt;
+    report.add(std::string("redirect.") + policy_keys[i] + ".rtt_p99_ms",
+               h.p99() / 1e6, 0.1);
+    report.add(std::string("redirect.") + policy_keys[i] + ".rtt_mean_ms",
+               h.mean() / 1e6, 0.1);
+  }
+  std::vector<double> quota_curve;
+  for (size_t q = 0; q < quotas.size(); ++q) {
+    const StreamResult& r = quota_results[q];
+    const std::string cell = "quota_udp.q" + std::to_string(quotas[q]);
+    report.add(cell + ".packets_per_sec", r.packets_per_sec);
+    report.add(cell + ".io_exits_per_sec", r.exits.io_instruction);
+    quota_curve.push_back(r.packets_per_sec);
+  }
+  report.add_series("quota_udp.packets_per_sec", std::move(quota_curve));
+  write_bench_report(args, report);
+
   const StreamResult& traced = quota_results[2];  // quota 8
   if (!export_trace(args, traced.trace.get(), traced.stages)) return 1;
   return 0;

@@ -16,6 +16,7 @@
 // hanging CI.
 //
 // Usage: bench_chaos [--fast] [--seed=N] [--out=DIR] [--wedge]
+#include <cctype>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -81,53 +82,17 @@ int run_wedge(const BenchArgs& args) {
   return r.report.status == ScenarioStatus::kNoProgress ? 2 : 3;
 }
 
-void write_json(const std::string& path, const BenchArgs& args,
-                const std::vector<double>& losses,
-                const std::vector<Stack>& stacks,
-                const std::vector<ChaosStreamResult>& results) {
-  FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::printf("[could not write %s]\n", path.c_str());
-    return;
+/// Stack label -> metric-key fragment ("PI+H+R" -> "pi_h_r").
+std::string stack_key(const char* label) {
+  std::string key;
+  for (const char* p = label; *p != '\0'; ++p) {
+    if (*p == '+') {
+      key += '_';
+    } else {
+      key += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
+    }
   }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"bench\": \"chaos\",\n");
-  std::fprintf(f, "  \"fast\": %s,\n", args.fast ? "true" : "false");
-  std::fprintf(f, "  \"seed\": %llu,\n",
-               static_cast<unsigned long long>(args.seed));
-  std::fprintf(f, "  \"cells\": [\n");
-  for (size_t i = 0; i < results.size(); ++i) {
-    const ChaosStreamResult& r = results[i];
-    const double loss = losses[i / stacks.size()];
-    const Stack& s = stacks[i % stacks.size()];
-    std::fprintf(
-        f,
-        "    {\"stack\": \"%s\", \"loss\": %.4f, \"status\": \"%s\", "
-        "\"goodput_mbps\": %.2f, \"link_dropped\": %lld, "
-        "\"kicks_dropped\": %lld, \"msis_dropped\": %lld, "
-        "\"worker_stalls\": %lld, \"spurious_irqs\": %lld, "
-        "\"fast_retransmits\": %lld, \"rto_retransmits\": %lld, "
-        "\"tx_watchdog_kicks\": %lld, \"rx_watchdog_polls\": %lld, "
-        "\"rx_repolls\": %lld, "
-        "\"audit_sweeps\": %llu, \"audit_violations\": %lld}%s\n",
-        s.label, loss, to_string(r.report.status), r.stream.throughput_mbps,
-        static_cast<long long>(r.stream.link_dropped),
-        static_cast<long long>(r.faults.kicks_dropped),
-        static_cast<long long>(r.faults.msis_dropped),
-        static_cast<long long>(r.faults.worker_stalls),
-        static_cast<long long>(r.faults.spurious_irqs),
-        static_cast<long long>(r.fast_retransmits),
-        static_cast<long long>(r.rto_retransmits),
-        static_cast<long long>(r.tx_watchdog_kicks),
-        static_cast<long long>(r.rx_watchdog_polls),
-        static_cast<long long>(r.rx_repolls),
-        static_cast<unsigned long long>(r.audit_sweeps),
-        static_cast<long long>(r.audit_violations),
-        i + 1 < results.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("[json written to %s]\n", path.c_str());
+  return key;
 }
 
 }  // namespace
@@ -215,8 +180,28 @@ int main(int argc, char** argv) {
   }
   std::printf("%s", t.render().c_str());
   write_csv(args, "chaos", csv);
-  write_json(args.out_dir + "/BENCH_chaos.json", args, losses, stacks,
-             results);
+
+  BenchReport report = make_report(args, "chaos");
+  for (size_t l = 0; l < losses.size(); ++l) {
+    for (size_t s = 0; s < stacks.size(); ++s) {
+      const ChaosStreamResult& r = results[l * stacks.size() + s];
+      const std::string cell =
+          stack_key(stacks[s].label) + ".loss" + format("%g", losses[l] * 100) +
+          "pct.";
+      // Status is a hard gate: a cell that wedges where the baseline run
+      // survived (or vice versa) must fail the diff regardless of goodput.
+      report.add(cell + "ok", r.report.ok() ? 1.0 : 0.0, 0.0);
+      report.add(cell + "goodput_mbps", r.stream.throughput_mbps);
+      report.add(cell + "fast_retransmits",
+                 static_cast<double>(r.fast_retransmits), 0.1);
+      report.add(cell + "rto_retransmits",
+                 static_cast<double>(r.rto_retransmits), 0.1);
+      report.add(cell + "rx_repolls", static_cast<double>(r.rx_repolls), 0.1);
+      report.add(cell + "audit_violations",
+                 static_cast<double>(r.audit_violations), 0.0);
+    }
+  }
+  write_bench_report(args, report);
 
   runner.print_failures(stdout);
   return runner.exit_code();

@@ -7,13 +7,16 @@
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
+#include <system_error>
 
 #include "base/csv.h"
 #include "base/strings.h"
 #include "base/table.h"
 #include "harness/experiments.h"
 #include "harness/parallel.h"
+#include "metrics/bench_schema.h"
 #include "trace/export.h"
 #include "trace/hooks.h"
 
@@ -121,6 +124,27 @@ inline void write_csv(const BenchArgs& args, const std::string& name,
   if (csv.write_file(path)) {
     std::printf("[series written to %s]\n", path.c_str());
   }
+}
+
+/// Starts this bench's `BENCH_<name>.json` report, stamped with the run's
+/// --fast/--seed so the gate can refuse incomparable comparisons.
+inline BenchReport make_report(const BenchArgs& args, const std::string& name) {
+  return BenchReport(name, args.fast, args.seed);
+}
+
+/// Writes the report to `<out_dir>/BENCH_<name>.json`. Every bench calls
+/// this unconditionally — the JSON is the regression gate's input.
+inline bool write_bench_report(const BenchArgs& args,
+                               const BenchReport& report) {
+  std::error_code ec;
+  std::filesystem::create_directories(args.out_dir, ec);
+  const std::string path = args.out_dir + "/BENCH_" + report.bench() + ".json";
+  if (!report.write_file(path)) {
+    std::printf("[could not write %s]\n", path.c_str());
+    return false;
+  }
+  std::printf("[bench report written to %s]\n", path.c_str());
+  return true;
 }
 
 }  // namespace es2::bench

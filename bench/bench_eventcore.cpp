@@ -8,12 +8,15 @@
 //     before it fires, reschedule (the queue's dominant cancel load);
 //   * the end-to-end Fig. 4 quota sweep wall time.
 //
-// Emits BENCH_eventcore.json (events/sec, ns/event, allocations/event,
-// speedup vs legacy, fig4 wall seconds, queue layer counters) so the perf
-// trajectory is tracked from this PR onward. This binary links
-// es2_alloc_hook, so allocations/event is measured, not estimated.
+// Emits BENCH_eventcore.json in the shared es2-bench-v1 schema
+// (events/sec, ns/event, allocations/event, speedup vs legacy, fig4 wall
+// seconds, queue layer counters) so the perf trajectory is tracked from
+// this PR onward. Wall-clock rates are informational (never gated);
+// allocation counts and queue-layer counters are deterministic and gated.
+// This binary links es2_alloc_hook, so allocations/event is measured, not
+// estimated.
 //
-// Usage: bench_eventcore [--fast] [--seed=N] [--out=DIR] [--json[=PATH]]
+// Usage: bench_eventcore [--fast] [--seed=N] [--out=DIR]
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -27,6 +30,7 @@
 #include "base/rng.h"
 #include "base/table.h"
 #include "base/units.h"
+#include "bench_common.h"
 #include "harness/experiments.h"
 #include "harness/parallel.h"
 #include "sim/event_queue.h"
@@ -251,71 +255,10 @@ EventQueueStats layer_stats(std::uint64_t seed) {
   return q.stats();
 }
 
-void write_json(const std::string& path, bool fast, std::uint64_t seed,
-                const ChurnResult& fire_new, const ChurnResult& fire_old,
-                const ChurnResult& cancel_new, const ChurnResult& cancel_old,
-                double fig4_seconds, const EventQueueStats& stats) {
-  FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::printf("[could not write %s]\n", path.c_str());
-    return;
-  }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"bench\": \"eventcore\",\n");
-  std::fprintf(f, "  \"fast\": %s,\n", fast ? "true" : "false");
-  std::fprintf(f, "  \"seed\": %llu,\n",
-               static_cast<unsigned long long>(seed));
-  auto emit_churn = [f](const char* name, const ChurnResult& r,
-                        bool trailing_comma) {
-    std::fprintf(f,
-                 "  \"%s\": {\"events_per_sec\": %.0f, \"ns_per_event\": "
-                 "%.2f, \"allocs_per_event\": %.4f}%s\n",
-                 name, r.events_per_sec, r.ns_per_event, r.allocs_per_event,
-                 trailing_comma ? "," : "");
-  };
-  emit_churn("schedule_fire_pooled", fire_new, true);
-  emit_churn("schedule_fire_legacy", fire_old, true);
-  emit_churn("cancel_churn_pooled", cancel_new, true);
-  emit_churn("cancel_churn_legacy", cancel_old, true);
-  std::fprintf(f, "  \"speedup_schedule_fire\": %.2f,\n",
-               fire_new.events_per_sec / fire_old.events_per_sec);
-  std::fprintf(f, "  \"speedup_cancel_churn\": %.2f,\n",
-               cancel_new.events_per_sec / cancel_old.events_per_sec);
-  std::fprintf(f, "  \"fig4_sweep_wall_seconds\": %.3f,\n", fig4_seconds);
-  std::fprintf(
-      f,
-      "  \"queue_layers\": {\"near_hits\": %llu, \"wheel_hits\": %llu, "
-      "\"far_hits\": %llu, \"far_migrations\": %llu, \"peak_live\": %llu, "
-      "\"boxed_callbacks\": %llu}\n",
-      static_cast<unsigned long long>(stats.near_hits),
-      static_cast<unsigned long long>(stats.wheel_hits),
-      static_cast<unsigned long long>(stats.far_hits),
-      static_cast<unsigned long long>(stats.far_migrations),
-      static_cast<unsigned long long>(stats.peak_live),
-      static_cast<unsigned long long>(stats.boxed_callbacks));
-  std::fprintf(f, "}\n");
-  std::fclose(f);
-  std::printf("[json written to %s]\n", path.c_str());
-}
-
 int bench_main(int argc, char** argv) {
-  bool fast = false;
-  bool json = false;
-  std::uint64_t seed = 1;
-  std::string out_dir = "bench/out";
-  std::string json_path;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--fast") fast = true;
-    if (arg.rfind("--seed=", 0) == 0) seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
-    if (arg.rfind("--out=", 0) == 0) out_dir = arg.substr(6);
-    if (arg == "--json") json = true;
-    if (arg.rfind("--json=", 0) == 0) {
-      json = true;
-      json_path = arg.substr(7);
-    }
-  }
-  if (json && json_path.empty()) json_path = out_dir + "/BENCH_eventcore.json";
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  const bool fast = args.fast;
+  const std::uint64_t seed = args.seed;
 
   std::printf("================================================================\n");
   std::printf("eventcore — pooled calendar queue vs seed heap+std::function\n");
@@ -357,10 +300,34 @@ int bench_main(int argc, char** argv) {
   std::printf("fig4 sweep wall time: %.3fs%s\n", fig4_s,
               fast ? " (--fast)" : "");
 
-  if (json) {
-    write_json(json_path, fast, seed, fire_new, fire_old, cancel_new,
-               cancel_old, fig4_s, stats);
-  }
+  BenchReport report = bench::make_report(args, "eventcore");
+  auto add_churn = [&report](const char* name, const ChurnResult& r) {
+    const std::string p = std::string(name) + ".";
+    // Wall-clock rates are machine-dependent: informational only. The
+    // allocation count per event is deterministic and gated — it is the
+    // zero-steady-state-allocation claim.
+    report.add_info(p + "events_per_sec", r.events_per_sec);
+    report.add_info(p + "ns_per_event", r.ns_per_event);
+    report.add(p + "allocs_per_event", r.allocs_per_event, 0.1);
+  };
+  add_churn("schedule_fire_pooled", fire_new);
+  add_churn("schedule_fire_legacy", fire_old);
+  add_churn("cancel_churn_pooled", cancel_new);
+  add_churn("cancel_churn_legacy", cancel_old);
+  report.add_info("speedup_schedule_fire",
+                  fire_new.events_per_sec / fire_old.events_per_sec);
+  report.add_info("speedup_cancel_churn",
+                  cancel_new.events_per_sec / cancel_old.events_per_sec);
+  report.add_info("fig4_sweep_wall_seconds", fig4_s);
+  report.add("layers.near_hits", static_cast<double>(stats.near_hits));
+  report.add("layers.wheel_hits", static_cast<double>(stats.wheel_hits));
+  report.add("layers.far_hits", static_cast<double>(stats.far_hits));
+  report.add("layers.far_migrations",
+             static_cast<double>(stats.far_migrations));
+  report.add("layers.peak_live", static_cast<double>(stats.peak_live));
+  report.add("layers.boxed_callbacks",
+             static_cast<double>(stats.boxed_callbacks), 0.0);
+  bench::write_bench_report(args, report);
   return 0;
 }
 

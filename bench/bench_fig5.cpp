@@ -79,6 +79,21 @@ int main(int argc, char** argv) {
                 cases[c].paper, t.render().c_str());
   }
   write_csv(args, "fig5", csv);
+
+  BenchReport report = make_report(args, "fig5");
+  const char* case_keys[] = {"send_tcp", "send_udp", "recv_tcp", "recv_udp"};
+  const char* config_keys[] = {"baseline", "pi", "pi_h"};
+  for (size_t c = 0; c < 4; ++c) {
+    for (int s = 0; s < 3; ++s) {
+      const StreamResult& r = results[c * 3 + s];
+      const std::string cell =
+          std::string(case_keys[c]) + "." + config_keys[s];
+      report.add(cell + ".exits_total", r.exits.total);
+      report.add(cell + ".tig_percent", r.exits.tig_percent, 0.1);
+    }
+  }
+  write_bench_report(args, report);
+
   const StreamResult& traced = results[7];
   if (!export_trace(args, traced.trace.get(), traced.stages)) return 1;
   return 0;

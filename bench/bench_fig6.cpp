@@ -25,6 +25,9 @@ int main(int argc, char** argv) {
   CsvWriter csv({"direction", "msg_size", "config", "throughput_mbps",
                  "packets_per_sec", "io_exits_per_sec", "tig_percent"});
 
+  BenchReport report = make_report(args, "fig6");
+  const char* config_keys[] = {"baseline", "pi", "pi_h", "pi_h_r"};
+
   for (const bool vm_sends : {true, false}) {
     std::vector<StreamResult> results(sizes.size() * 4);
     std::vector<std::function<void()>> tasks;
@@ -69,6 +72,19 @@ int main(int argc, char** argv) {
       t.add_row(std::move(row));
     }
     std::printf("%s", t.render().c_str());
+    const std::string dir = vm_sends ? "send" : "recv";
+    for (int c = 0; c < 4; ++c) {
+      std::vector<double> curve;
+      for (size_t s = 0; s < sizes.size(); ++s) {
+        const StreamResult& r = results[s * 4 + c];
+        report.add(dir + "." + config_keys[c] + "." +
+                       std::to_string(sizes[s]) + "b.throughput_mbps",
+                   r.throughput_mbps);
+        curve.push_back(r.throughput_mbps);
+      }
+      report.add_series(dir + "." + config_keys[c] + ".throughput_mbps",
+                        std::move(curve));
+    }
     if (!vm_sends) {
       const StreamResult& traced = results[(sizes.size() - 1) * 4 + 3];
       if (!export_trace(args, traced.trace.get(), traced.stages)) return 1;
@@ -78,5 +94,6 @@ int main(int argc, char** argv) {
       "\nPaper shape: send PI+13-19%%, +H -> +40%%, +R -> +15%% (~2x);\n"
       "recv: +R up to +50%% over PI+H.\n");
   write_csv(args, "fig6", csv);
+  write_bench_report(args, report);
   return 0;
 }

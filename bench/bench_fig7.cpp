@@ -53,6 +53,23 @@ int main(int argc, char** argv) {
       "Ours: baseline rides the vCPU scheduling delay (ms-scale), ES2's\n"
       "median is wire-level; residual tail = offline-prediction waits.\n");
   write_csv(args, "fig7", csv);
+
+  BenchReport report = make_report(args, "fig7");
+  const char* keys[3] = {"baseline", "pi", "pi_h_r"};
+  for (int i = 0; i < 3; ++i) {
+    const Histogram& h = results[i].rtt;
+    report.add(std::string(keys[i]) + ".rtt_p50_ms", h.p50() / 1e6);
+    report.add(std::string(keys[i]) + ".rtt_p99_ms", h.p99() / 1e6, 0.1);
+    report.add(std::string(keys[i]) + ".lost",
+               static_cast<double>(results[i].lost));
+    std::vector<double> series;
+    for (const SimDuration rtt : results[i].samples) {
+      series.push_back(static_cast<double>(rtt) / 1e6);
+    }
+    report.add_series(std::string(keys[i]) + ".rtt_ms", std::move(series));
+  }
+  write_bench_report(args, report);
+
   if (!export_trace(args, results[2].trace.get(), results[2].stages)) return 1;
   return 0;
 }

@@ -70,6 +70,19 @@ int main(int argc, char** argv) {
   }
   std::printf("%s", ta.render().c_str());
   write_csv(args, "fig8", csv);
+
+  BenchReport report = make_report(args, "fig8");
+  const char* keys[] = {"baseline", "pi", "pi_h", "pi_h_r"};
+  for (int c = 0; c < 4; ++c) {
+    const std::string k = keys[c];
+    report.add("memcached." + k + ".ops_per_sec", mem[c].ops_per_sec);
+    report.add("memcached." + k + ".latency_p99_ms",
+               mem[c].latency.p99() / 1e6, 0.1);
+    report.add("apache." + k + ".requests_per_sec", ap[c].requests_per_sec);
+    report.add("apache." + k + ".throughput_mbps", ap[c].throughput_mbps);
+  }
+  write_bench_report(args, report);
+
   if (!export_trace(args, mem[3].trace.get(), mem[3].stages)) return 1;
   return 0;
 }

@@ -61,6 +61,27 @@ int main(int argc, char** argv) {
       "Paper: baseline knee ~1,800/s (SYN backlog overflow + 1s SYN\n"
       "retransmissions), full ES2 stays low until ~2,600/s.\n");
   write_csv(args, "fig9", csv);
+
+  BenchReport report = make_report(args, "fig9");
+  const char* keys[4] = {"baseline", "pi", "pi_h", "pi_h_r"};
+  for (int c = 0; c < 4; ++c) {
+    std::vector<double> curve;
+    for (size_t r = 0; r < rates.size(); ++r) {
+      const HttperfResult& res = results[r * 4 + c];
+      report.add(std::string(keys[c]) + ".r" +
+                     std::to_string(static_cast<int>(rates[r])) +
+                     ".avg_connect_ms",
+                 res.avg_connect_ms, 0.1);
+      report.add(std::string(keys[c]) + ".r" +
+                     std::to_string(static_cast<int>(rates[r])) + ".established",
+                 static_cast<double>(res.established));
+      curve.push_back(res.avg_connect_ms);
+    }
+    report.add_series(std::string(keys[c]) + ".avg_connect_ms",
+                      std::move(curve));
+  }
+  write_bench_report(args, report);
+
   if (!export_trace(args, results[3].trace.get(), results[3].stages)) return 1;
   return 0;
 }

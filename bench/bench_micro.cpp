@@ -1,11 +1,21 @@
 // Engine microbenchmarks (google-benchmark): the substrate's hot paths —
 // event queue, virtqueue operations, CFS scheduling, PI descriptor posts,
 // redirection target selection, and whole-simulation throughput.
+//
+// The custom main collects each benchmark's per-iteration real time and
+// writes BENCH_micro.json in the shared es2-bench-v1 schema. All micro
+// numbers are wall-clock and therefore informational (never gated).
+//
+// Usage: bench_micro [--fast] [--seed=N] [--out=DIR] [--benchmark_* flags]
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "apic/vapic.h"
+#include "bench_common.h"
 #include "cpu/cfs.h"
 #include "es2/redirect.h"
 #include "harness/experiments.h"
@@ -134,7 +144,56 @@ void BM_FullStackSimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_FullStackSimulation)->Unit(benchmark::kMillisecond);
 
+/// Console reporter that additionally collects (name, ns/iteration) pairs
+/// for the BENCH_micro.json report.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type == Run::RT_Iteration && !run.error_occurred &&
+          run.iterations > 0) {
+        collected.emplace_back(run.benchmark_name(),
+                               run.real_accumulated_time /
+                                   static_cast<double>(run.iterations) * 1e9);
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<std::pair<std::string, double>> collected;
+};
+
 }  // namespace
 }  // namespace es2
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const es2::bench::BenchArgs args = es2::bench::parse_args(argc, argv);
+  // Benchmark's flag parser must not see our flags; hand it a filtered
+  // argv (plus a short min-time under --fast).
+  std::vector<std::string> fwd_storage = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_", 12) == 0) {
+      fwd_storage.push_back(argv[i]);
+    }
+  }
+  if (args.fast) fwd_storage.push_back("--benchmark_min_time=0.05");
+  std::vector<char*> fwd;
+  for (std::string& s : fwd_storage) fwd.push_back(s.data());
+  int fwd_argc = static_cast<int>(fwd.size());
+  benchmark::Initialize(&fwd_argc, fwd.data());
+
+  es2::CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  es2::BenchReport report = es2::bench::make_report(args, "micro");
+  for (const auto& [name, ns] : reporter.collected) {
+    std::string key = name;
+    for (char& ch : key) {
+      if (ch == '/') ch = '_';
+    }
+    report.add_info(key + ".ns_per_iter", ns);
+  }
+  es2::bench::write_bench_report(args, report);
+  return 0;
+}

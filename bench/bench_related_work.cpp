@@ -190,5 +190,25 @@ int main(int argc, char** argv) {
   csv.add_row({"moderation", "coalesced", "p99_ms", fixed(coalesced.rtt_p99_ms, 3)});
   csv.add_row({"moderation", "poll_driver", "p99_ms", fixed(polled.rtt_p99_ms, 3)});
   write_csv(args, "related_work", csv);
+
+  BenchReport report = make_report(args, "related_work");
+  auto add_latency = [&report](const char* key, const LatencyLoad& r) {
+    const std::string p = std::string("moderation.") + key + ".";
+    report.add(p + "irqs_per_sec", r.irqs_per_sec);
+    report.add(p + "rtt_p50_ms", r.rtt_p50_ms, 0.1);
+    report.add(p + "rtt_p99_ms", r.rtt_p99_ms, 0.1);
+  };
+  add_latency("stock", stock);
+  add_latency("coalesced", coalesced);
+  add_latency("poll_driver", polled);
+  const char* eli_keys[4] = {"pi_dedicated", "eli_dedicated", "pi_muxed",
+                             "eli_muxed"};
+  for (size_t i = 0; i < cases.size(); ++i) {
+    const std::string p = std::string("eli_vs_pi.") + eli_keys[i] + ".";
+    report.add(p + "rtt_p99_ms", cases[i].p99, 0.1);
+    report.add(p + "stalled_irqs", static_cast<double>(cases[i].stalls));
+    report.add(p + "hazards", static_cast<double>(cases[i].hazards));
+  }
+  write_bench_report(args, report);
   return 0;
 }

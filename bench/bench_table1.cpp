@@ -74,6 +74,21 @@ int main(int argc, char** argv) {
   row("baseline", base);
   row("pi", pi);
   write_csv(args, "table1", csv);
+
+  BenchReport report = make_report(args, "table1");
+  auto add_config = [&report](const char* name, const StreamResult& r) {
+    const std::string p = std::string(name) + ".";
+    report.add(p + "exits.delivery", r.exits.interrupt_delivery);
+    report.add(p + "exits.completion", r.exits.interrupt_completion);
+    report.add(p + "exits.io_request", r.exits.io_instruction);
+    report.add(p + "exits.total", r.exits.total);
+    report.add(p + "tig_percent", r.exits.tig_percent, 0.1);
+    report.add(p + "throughput_mbps", r.throughput_mbps);
+  };
+  add_config("baseline", base);
+  add_config("pi", pi);
+  write_bench_report(args, report);
+
   if (!export_trace(args, base.trace.get(), base.stages)) return 1;
   return 0;
 }

@@ -25,6 +25,7 @@ void EmulatedLapic::begin_service(Vector vector) {
 
 bool EmulatedLapic::eoi() {
   if (isr_.any()) isr_.pop_highest();
+  ++eois_;
   return deliverable() >= 0;
 }
 

@@ -18,7 +18,10 @@ namespace es2 {
 class EmulatedLapic {
  public:
   /// Records a pending interrupt (hypervisor-side IRR write).
-  void post(Vector vector) { irr_.set(vector); }
+  void post(Vector vector) {
+    irr_.set(vector);
+    ++posts_;
+  }
 
   bool has_pending() const { return irr_.any(); }
 
@@ -38,11 +41,19 @@ class EmulatedLapic {
   int pending_count() const { return irr_.count(); }
   bool in_service(Vector v) const { return isr_.test(v); }
 
+  /// Lifetime totals (metrics probes): interrupts posted to the IRR and
+  /// EOI writes serviced. Never reset by reset() — the registry samples
+  /// cumulative values.
+  std::int64_t posts() const { return posts_; }
+  std::int64_t eois() const { return eois_; }
+
   void reset();
 
  private:
   IrqBitmap irr_;
   IrqBitmap isr_;
+  std::int64_t posts_ = 0;
+  std::int64_t eois_ = 0;
 };
 
 }  // namespace es2

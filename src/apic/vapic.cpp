@@ -26,6 +26,7 @@ Vector VApicPage::deliver() {
 
 bool VApicPage::eoi() {
   if (visr_.any()) visr_.pop_highest();
+  ++eois_;
   return deliverable() >= 0;
 }
 

@@ -26,13 +26,21 @@ class PiDescriptor {
   /// coalesced by hardware.
   bool post(Vector vector) {
     pir_.set(vector);
+    ++posts_;
     if (outstanding_notification_) return false;
     outstanding_notification_ = true;
+    ++notifications_;
     return true;
   }
 
   bool has_posted() const { return pir_.any(); }
   bool outstanding() const { return outstanding_notification_; }
+
+  /// Lifetime totals (metrics probes): PIR posts and notification IPIs
+  /// actually sent. posts - notifications = interrupts coalesced by the
+  /// ON bit — the paper's exit-less delivery win.
+  std::int64_t posts() const { return posts_; }
+  std::int64_t notifications() const { return notifications_; }
 
   /// Hardware PIR->vIRR sync (Fig. 2 step 3 / VM-entry processing):
   /// clears ON, drains PIR into `dest`.
@@ -49,6 +57,8 @@ class PiDescriptor {
  private:
   IrqBitmap pir_;
   bool outstanding_notification_ = false;
+  std::int64_t posts_ = 0;
+  std::int64_t notifications_ = 0;
 };
 
 class VApicPage {
@@ -74,12 +84,17 @@ class VApicPage {
   bool has_pending() const { return virr_.any(); }
   int in_service_count() const { return visr_.count(); }
 
+  /// Lifetime virtual-EOI count (metrics probe) — completions that took
+  /// no VM exit.
+  std::int64_t eois() const { return eois_; }
+
   void reset();
 
  private:
   PiDescriptor pi_;
   IrqBitmap virr_;
   IrqBitmap visr_;
+  std::int64_t eois_ = 0;
 };
 
 }  // namespace es2

@@ -4,8 +4,15 @@
 
 #include "base/assert.h"
 #include "base/strings.h"
+#include "metrics/metrics.h"
 
 namespace es2 {
+
+namespace {
+std::string flow_label(std::uint64_t flow) {
+  return format("%llu", static_cast<unsigned long long>(flow));
+}
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // NetperfSender (guest task)
@@ -311,6 +318,54 @@ void PeerStreamSender::check_rto() {
     }
     acked_at_last_rto_check_ = acked_;
     check_rto();
+  });
+}
+
+void NetperfSender::register_metrics(MetricsRegistry& registry) {
+  MetricLabels labels = {{"vm", os().vm().name()},
+                         {"flow", flow_label(flow_)}};
+  registry.probe("app.netperf.bytes_sent", labels, [this] {
+    return static_cast<double>(bytes_sent_);
+  });
+  registry.probe("app.netperf.packets_sent", labels, [this] {
+    return static_cast<double>(packets_sent_);
+  });
+  registry.probe("app.netperf.messages_sent", labels, [this] {
+    return static_cast<double>(messages_sent_);
+  });
+}
+
+void NetperfReceiver::register_metrics(MetricsRegistry& registry) {
+  MetricLabels labels = {{"vm", os_.vm().name()},
+                         {"flow", flow_label(flow_)}};
+  registry.probe("app.netperf.bytes_received", labels, [this] {
+    return static_cast<double>(bytes_received_);
+  });
+  registry.probe("app.netperf.packets_received", labels, [this] {
+    return static_cast<double>(packets_received_);
+  });
+}
+
+void PeerStreamReceiver::register_metrics(MetricsRegistry& registry) {
+  MetricLabels labels = {{"flow", flow_label(flow_)}};
+  registry.probe("peer.stream.bytes_received", labels, [this] {
+    return static_cast<double>(bytes_received_);
+  });
+  registry.probe("peer.stream.packets_received", labels, [this] {
+    return static_cast<double>(packets_received_);
+  });
+}
+
+void PeerStreamSender::register_metrics(MetricsRegistry& registry) {
+  MetricLabels labels = {{"flow", flow_label(flow_)}};
+  registry.probe("peer.stream.packets_sent", labels, [this] {
+    return static_cast<double>(packets_sent_);
+  });
+  registry.probe("tcp.retransmits", labels, [this] {
+    return static_cast<double>(retransmits_);
+  });
+  registry.probe("tcp.fast_retransmits", labels, [this] {
+    return static_cast<double>(fast_retransmits_);
   });
 }
 

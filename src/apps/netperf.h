@@ -18,6 +18,8 @@
 
 namespace es2 {
 
+class MetricsRegistry;
+
 /// Guest task sending a TCP/UDP stream of `msg_size`-byte messages.
 class NetperfSender final : public GuestTask, public FlowSink {
  public:
@@ -34,6 +36,9 @@ class NetperfSender final : public GuestTask, public FlowSink {
 
   /// Payload bytes per wire segment for this message size.
   Bytes segment_payload() const;
+
+  /// Registers sender throughput probes (labels vm=<name>, flow=<id>).
+  void register_metrics(MetricsRegistry& registry);
 
  private:
   bool window_open() const;
@@ -67,6 +72,9 @@ class NetperfReceiver final : public FlowSink {
   Bytes bytes_received() const { return bytes_received_; }
   std::int64_t packets_received() const { return packets_received_; }
 
+  /// Registers sink probes (labels vm=<name>, flow=<id>).
+  void register_metrics(MetricsRegistry& registry);
+
  private:
   GuestOs& os_;
   VirtioNetFrontend& dev_;
@@ -90,6 +98,9 @@ class PeerStreamReceiver {
 
   void begin_window(SimTime now);
   double throughput_mbps(SimTime now) const;
+
+  /// Registers peer-side sink probes (label flow=<id>).
+  void register_metrics(MetricsRegistry& registry);
 
  private:
   void on_packet(const PacketPtr& packet);
@@ -142,6 +153,10 @@ class PeerStreamSender {
   std::int64_t packets_sent() const { return packets_sent_; }
   std::int64_t retransmits() const { return retransmits_; }
   std::int64_t fast_retransmits() const { return fast_retransmits_; }
+
+  /// Registers peer-side source probes, including the TCP recovery
+  /// signature — tcp.retransmits / tcp.fast_retransmits (label flow=<id>).
+  void register_metrics(MetricsRegistry& registry);
 
  private:
   void pump_tcp();

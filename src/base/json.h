@@ -1,0 +1,93 @@
+// Minimal JSON document model with a strict parser and a deterministic
+// serializer.
+//
+// The repo speaks JSON in three places — metrics exports, BENCH_*.json
+// perf snapshots, and trace exports — and the regression gate must *read*
+// the first two back. This is a small, dependency-free value type: objects
+// preserve insertion order (so serialize(parse(x)) is stable), numbers are
+// doubles, and the parser rejects trailing garbage. It is not a streaming
+// parser; documents here are a few hundred KiB at most.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace es2 {
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;
+  static Json null() { return Json(); }
+  static Json boolean(bool b);
+  static Json number(double v);
+  static Json string(std::string s);
+  static Json array();
+  static Json object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool(bool fallback = false) const;
+  double as_number(double fallback = 0.0) const;
+  const std::string& as_string() const { return string_; }
+
+  // --- arrays --------------------------------------------------------------
+  std::size_t size() const { return items_.size(); }
+  const Json& at(std::size_t i) const;
+  void push_back(Json v);
+
+  // --- objects (insertion-ordered) ----------------------------------------
+  /// Null when the key is absent (or this is not an object).
+  const Json* find(const std::string& key) const;
+  bool has(const std::string& key) const { return find(key) != nullptr; }
+  /// Inserts or overwrites `key`.
+  void set(std::string key, Json v);
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+
+  /// Convenience lookups with fallbacks (object use only).
+  double number_or(const std::string& key, double fallback) const;
+  bool bool_or(const std::string& key, bool fallback) const;
+  std::string string_or(const std::string& key,
+                        const std::string& fallback) const;
+
+  // --- text ----------------------------------------------------------------
+  /// Parses `text` (full input must be consumed). Returns false and fills
+  /// `error` (position + reason) on malformed input.
+  static bool parse(const std::string& text, Json* out, std::string* error);
+
+  /// Deterministic serialization: members in insertion order, numbers via
+  /// shortest round-trip formatting, `indent` > 0 pretty-prints.
+  std::string dump(int indent = 0) const;
+
+  /// Escapes `s` as a JSON string literal (with quotes).
+  static std::string escape(const std::string& s);
+
+ private:
+  void dump_to(std::string* out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;                            // arrays
+  std::vector<std::pair<std::string, Json>> members_;  // objects
+};
+
+/// Formats a double with the shortest representation that round-trips
+/// (integers print without a fraction). Shared by every JSON emitter so
+/// exports are byte-stable across call sites.
+std::string json_number(double v);
+
+}  // namespace es2

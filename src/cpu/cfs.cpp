@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "base/assert.h"
+#include "base/strings.h"
+#include "metrics/metrics.h"
 
 namespace es2 {
 
@@ -38,6 +40,25 @@ std::uint64_t CfsScheduler::context_switches() const {
   std::uint64_t total = 0;
   for (const auto& c : cores_) total += c->context_switches_;
   return total;
+}
+
+void CfsScheduler::register_metrics(MetricsRegistry& registry) {
+  for (auto& core : cores_) {
+    Core* c = core.get();
+    MetricLabels labels = {{"core", format("%d", c->id_)}};
+    registry.probe("cfs.context_switches", labels, [c] {
+      return static_cast<double>(c->context_switches_);
+    });
+    registry.probe("cfs.preemptions", labels, [c] {
+      return static_cast<double>(c->preemptions_);
+    });
+    registry.probe("cfs.nr_running", labels, [c] {
+      return static_cast<double>(c->nr_running());
+    });
+    registry.probe("cfs.load", labels, [c] {
+      return static_cast<double>(c->load());
+    });
+  }
 }
 
 void CfsScheduler::add(SimThread& thread, int pinned_core) {
@@ -200,6 +221,7 @@ void CfsScheduler::check_wakeup_preemption(Core& core, SimThread& woken) {
   account_current(core);
   const double gran = static_cast<double>(params_.wakeup_granularity);
   if (woken.vruntime_ + gran < core.current_->vruntime_) {
+    ++core.preemptions_;
     request_resched(core);
   }
 }

@@ -25,6 +25,8 @@
 
 namespace es2 {
 
+class MetricsRegistry;
+
 struct CfsParams {
   SimDuration sched_latency = msec(6);
   SimDuration min_granularity = usec(750);
@@ -68,6 +70,10 @@ class Core {
 
   std::uint64_t context_switches() const { return context_switches_; }
 
+  /// Wakeup preemptions requested on this core (a waking thread beat the
+  /// running one by more than the wakeup granularity).
+  std::uint64_t preemptions() const { return preemptions_; }
+
  private:
   friend class CfsScheduler;
 
@@ -86,6 +92,7 @@ class Core {
   bool resched_pending_ = false;
   EventHandle slice_timer_;
   std::uint64_t context_switches_ = 0;
+  std::uint64_t preemptions_ = 0;
   TimeWeighted busy_;
 };
 
@@ -108,6 +115,10 @@ class CfsScheduler {
 
   /// Total context switches across all cores.
   std::uint64_t context_switches() const;
+
+  /// Registers per-core telemetry probes (labels core=<id>): runnable
+  /// counts, context switches, wakeup preemptions.
+  void register_metrics(MetricsRegistry& registry);
 
  private:
   friend class SimThread;

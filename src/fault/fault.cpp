@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/assert.h"
+#include "metrics/metrics.h"
 
 namespace es2 {
 
@@ -100,6 +101,36 @@ void FaultInjector::start_spurious(std::function<void()> fire) {
 
 void FaultInjector::stop_spurious() {
   if (spurious_timer_) spurious_timer_->stop();
+}
+
+void FaultInjector::register_metrics(MetricsRegistry& registry) {
+  registry.probe("fault.link.dropped", {}, [this] {
+    return static_cast<double>(stats_.link_dropped);
+  });
+  registry.probe("fault.link.reordered", {}, [this] {
+    return static_cast<double>(stats_.link_reordered);
+  });
+  registry.probe("fault.link.duplicated", {}, [this] {
+    return static_cast<double>(stats_.link_duplicated);
+  });
+  registry.probe("fault.kicks.dropped", {}, [this] {
+    return static_cast<double>(stats_.kicks_dropped);
+  });
+  registry.probe("fault.kicks.delayed", {}, [this] {
+    return static_cast<double>(stats_.kicks_delayed);
+  });
+  registry.probe("fault.msis.dropped", {}, [this] {
+    return static_cast<double>(stats_.msis_dropped);
+  });
+  registry.probe("fault.worker.stalls", {}, [this] {
+    return static_cast<double>(stats_.worker_stalls);
+  });
+  registry.probe("fault.spurious_irqs", {}, [this] {
+    return static_cast<double>(stats_.spurious_irqs);
+  });
+  registry.probe("log.suppressed", {{"source", "fault"}}, [this] {
+    return static_cast<double>(warn_limit_.total_suppressed());
+  });
 }
 
 }  // namespace es2

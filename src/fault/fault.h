@@ -29,6 +29,8 @@
 
 namespace es2 {
 
+class MetricsRegistry;
+
 /// Gilbert–Elliott two-state burst-loss model: the link flips between a
 /// `good` and a `bad` state per packet; each state has its own loss
 /// probability. Captures correlated loss (a flaky transceiver, a congested
@@ -115,6 +117,10 @@ class FaultInjector {
   /// kSpuriousFaultVector into the victim VM.
   void start_spurious(std::function<void()> fire);
   void stop_spurious();
+
+  /// Registers fired-fault counters plus the injector's suppressed-log
+  /// count as probes.
+  void register_metrics(MetricsRegistry& registry);
 
  private:
   Simulator& sim_;

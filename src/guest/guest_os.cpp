@@ -2,6 +2,7 @@
 
 #include "base/assert.h"
 #include "guest/virtio_net.h"
+#include "metrics/metrics.h"
 
 namespace es2 {
 
@@ -152,6 +153,13 @@ void GuestOs::deliver_to_stack(Vcpu& vcpu, const PacketPtr& packet,
     return;
   }
   it->second->on_packet(vcpu, packet, std::move(done));
+}
+
+void GuestOs::register_metrics(MetricsRegistry& registry) {
+  registry.probe("guest.unknown_flow_packets", {{"vm", vm_.name()}}, [this] {
+    return static_cast<double>(unknown_flow_);
+  });
+  for (VirtioNetFrontend* dev : netdevs_) dev->register_metrics(registry);
 }
 
 }  // namespace es2

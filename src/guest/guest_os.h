@@ -25,6 +25,7 @@
 namespace es2 {
 
 class GuestOs;
+class MetricsRegistry;
 class VirtioNetFrontend;
 
 /// A guest-level schedulable task (netperf thread, server worker, burn
@@ -117,6 +118,10 @@ class GuestOs final : public GuestCpu {
   bool cpu_idle(int vcpu_index) const;
 
   std::int64_t packets_to_unknown_flows() const { return unknown_flow_; }
+
+  /// Registers kernel-level telemetry — flow demux misses (label
+  /// vm=<name>) — plus each attached netdev's driver probes.
+  void register_metrics(MetricsRegistry& registry);
 
  private:
   GuestTask* pick_task(int vcpu_index);

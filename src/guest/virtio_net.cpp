@@ -2,6 +2,7 @@
 
 #include "base/assert.h"
 #include "guest/guest_os.h"
+#include "metrics/metrics.h"
 #include "trace/hooks.h"
 
 namespace es2 {
@@ -333,6 +334,25 @@ void VirtioNetFrontend::add_tx_waiter(GuestTask& task) {
     if (t == &task) return;
   }
   tx_waiters_.push_back(&task);
+}
+
+void VirtioNetFrontend::register_metrics(MetricsRegistry& registry) {
+  MetricLabels labels = {{"vm", os_.vm().name()}};
+  registry.probe("guest.net.kicks", labels, [this] {
+    return static_cast<double>(kicks_);
+  });
+  registry.probe("guest.net.rx_polled", labels, [this] {
+    return static_cast<double>(rx_polled_);
+  });
+  registry.probe("guest.net.tx_queue_stops", labels, [this] {
+    return static_cast<double>(tx_stops_);
+  });
+  registry.probe("guest.net.tx_watchdog_kicks", labels, [this] {
+    return static_cast<double>(tx_watchdog_kicks_);
+  });
+  registry.probe("guest.net.rx_watchdog_polls", labels, [this] {
+    return static_cast<double>(rx_watchdog_polls_);
+  });
 }
 
 }  // namespace es2

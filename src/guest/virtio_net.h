@@ -23,6 +23,7 @@ namespace es2 {
 
 class GuestOs;
 class GuestTask;
+class MetricsRegistry;
 
 class VirtioNetFrontend {
  public:
@@ -67,6 +68,10 @@ class VirtioNetFrontend {
   std::int64_t rx_watchdog_polls() const { return rx_watchdog_polls_; }
 
   VhostNetBackend& backend() { return backend_; }
+
+  /// Registers driver telemetry — kicks, NAPI polls, queue stops, watchdog
+  /// recoveries (label vm=<name>).
+  void register_metrics(MetricsRegistry& registry);
 
  private:
   void napi_poll(Vcpu& vcpu, std::function<void()> done);

@@ -51,11 +51,14 @@ struct StreamWorkload {
             tb.guest(), tb.frontend(), flow, opts.proto, opts.msg_size,
             t % vcpus));
         tb.guest().add_task(*senders.back());
+        senders.back()->register_metrics(tb.metrics());
         peer_rx.push_back(
             std::make_unique<PeerStreamReceiver>(tb.peer(), flow, opts.proto));
+        peer_rx.back()->register_metrics(tb.metrics());
       } else {
         guest_rx.push_back(std::make_unique<NetperfReceiver>(
             tb.guest(), tb.frontend(), flow, opts.proto));
+        guest_rx.back()->register_metrics(tb.metrics());
         PeerStreamSender::Params p;
         p.proto = opts.proto;
         p.msg_size = opts.msg_size;
@@ -63,6 +66,7 @@ struct StreamWorkload {
         p.dupack_threshold = opts.dupack_threshold;
         peer_tx.push_back(
             std::make_unique<PeerStreamSender>(tb.peer(), flow, p));
+        peer_tx.back()->register_metrics(tb.metrics());
       }
     }
   }
@@ -92,6 +96,28 @@ std::shared_ptr<TraceData> harvest_trace(Testbed& tb) {
   auto data = std::make_shared<TraceData>();
   data->records = tracer->snapshot();
   data->breakdown = build_spans(data->records, &data->spans);
+  return data;
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry
+// ---------------------------------------------------------------------------
+
+double MetricsData::value(const std::string& key, double fallback) const {
+  for (const MetricSample& s : samples) {
+    if (metric_key(s.name, s.labels) == key) return s.value;
+  }
+  return fallback;
+}
+
+std::shared_ptr<MetricsData> harvest_metrics(Testbed& tb) {
+  auto data = std::make_shared<MetricsData>();
+  data->samples = snapshot(tb.metrics());
+  if (const MetricsSampler* sampler = tb.sampler()) {
+    data->sampler_frames = sampler->frames();
+    data->sampler_total = sampler->total_samples();
+    data->top_deltas = top_metric_deltas(tb.metrics(), *sampler, 5);
+  }
   return data;
 }
 
@@ -198,6 +224,7 @@ struct StreamWindow {
 StreamResult run_stream(const StreamOptions& opts) {
   TestbedOptions to = testbed_options(opts.config, opts.macro, opts.seed);
   to.trace = opts.trace;
+  to.metrics = opts.metrics;
   Testbed tb(to);
   if (opts.quota_override > 0) {
     HybridIoHandling::attach(tb.backend(), opts.quota_override);
@@ -216,6 +243,7 @@ StreamResult run_stream(const StreamOptions& opts) {
   StreamResult result = window.collect(tb, w, opts.vm_sends);
   result.trace = harvest_trace(tb);
   result.stages = trace_stages(result.trace.get());
+  result.metrics = harvest_metrics(tb);
   return result;
 }
 
@@ -228,6 +256,7 @@ ChaosStreamResult run_chaos_stream(const ChaosStreamOptions& opts,
   to.audit_period = opts.audit_period;
   to.guest_params.tx_watchdog = opts.tx_watchdog;
   to.trace = opts.stream.trace;
+  to.metrics = opts.stream.metrics;
   Testbed tb(to);
   if (opts.stream.quota_override > 0) {
     HybridIoHandling::attach(tb.backend(), opts.stream.quota_override);
@@ -277,7 +306,13 @@ ChaosStreamResult run_chaos_stream(const ChaosStreamOptions& opts,
   }
   result.stream.trace = harvest_trace(tb);
   result.stream.stages = trace_stages(result.stream.trace.get());
+  result.stream.metrics = harvest_metrics(tb);
   result.report = wd.report(name);
+  // Failure lines carry the top moving metrics so a wedge points at the
+  // layer that stopped (or never started) making progress.
+  if (!result.report.ok()) {
+    result.report.telemetry = result.stream.metrics->top_deltas;
+  }
   return result;
 }
 
@@ -288,6 +323,7 @@ ChaosStreamResult run_chaos_stream(const ChaosStreamOptions& opts,
 PingResult run_ping(const PingOptions& opts) {
   TestbedOptions to = testbed_options(opts.config, /*macro=*/true, opts.seed);
   to.trace = opts.trace;
+  to.metrics = opts.metrics;
   Testbed tb(to);
   const std::uint64_t flow = 7;
   PingResponder responder(tb.guest(), tb.frontend(), flow);
@@ -306,6 +342,7 @@ PingResult run_ping(const PingOptions& opts) {
   result.lost = client.lost();
   result.trace = harvest_trace(tb);
   result.stages = trace_stages(result.trace.get());
+  result.metrics = harvest_metrics(tb);
   return result;
 }
 
@@ -316,6 +353,7 @@ PingResult run_ping(const PingOptions& opts) {
 MemcachedResult run_memcached(const MemcachedOptions& opts) {
   TestbedOptions to = testbed_options(opts.config, /*macro=*/true, opts.seed);
   to.trace = opts.trace;
+  to.metrics = opts.metrics;
   Testbed tb(to);
   const std::uint64_t base_flow = 1000;
   MemcachedServer server(tb.guest(), tb.frontend(), base_flow,
@@ -338,6 +376,7 @@ MemcachedResult run_memcached(const MemcachedOptions& opts) {
   result.latency = client.latency();
   result.trace = harvest_trace(tb);
   result.stages = trace_stages(result.trace.get());
+  result.metrics = harvest_metrics(tb);
   return result;
 }
 
@@ -348,6 +387,7 @@ MemcachedResult run_memcached(const MemcachedOptions& opts) {
 ApacheResult run_apache(const ApacheOptions& opts) {
   TestbedOptions to = testbed_options(opts.config, /*macro=*/true, opts.seed);
   to.trace = opts.trace;
+  to.metrics = opts.metrics;
   Testbed tb(to);
   const std::uint64_t base_flow = 2000;
   ApacheServer server(tb.guest(), tb.frontend(), base_flow, opts.concurrency,
@@ -365,12 +405,14 @@ ApacheResult run_apache(const ApacheOptions& opts) {
   result.throughput_mbps = client.response_mbps(tb.sim().now());
   result.trace = harvest_trace(tb);
   result.stages = trace_stages(result.trace.get());
+  result.metrics = harvest_metrics(tb);
   return result;
 }
 
 HttperfResult run_httperf(const HttperfOptions& opts) {
   TestbedOptions to = testbed_options(opts.config, /*macro=*/true, opts.seed);
   to.trace = opts.trace;
+  to.metrics = opts.metrics;
   Testbed tb(to);
   const std::uint64_t base_flow = 3000;
   ApacheServer server(tb.guest(), tb.frontend(), base_flow, /*client_conns=*/1,
@@ -392,6 +434,7 @@ HttperfResult run_httperf(const HttperfOptions& opts) {
   result.retries = client.retries();
   result.trace = harvest_trace(tb);
   result.stages = trace_stages(result.trace.get());
+  result.metrics = harvest_metrics(tb);
   return result;
 }
 

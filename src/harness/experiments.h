@@ -13,6 +13,7 @@
 #include "es2/config.h"
 #include "harness/runner.h"
 #include "harness/testbed.h"
+#include "metrics/export.h"
 #include "stats/histogram.h"
 #include "trace/span.h"
 #include "trace/trace.h"
@@ -50,6 +51,26 @@ struct TraceStages {
 /// Snapshots a testbed's tracer and stitches journeys. Null when the run
 /// was not traced. Call after the measured span, before teardown.
 std::shared_ptr<TraceData> harvest_trace(Testbed& tb);
+
+// ---------------------------------------------------------------------------
+// Telemetry (shared by every runner)
+// ---------------------------------------------------------------------------
+
+/// Final registry snapshot from one run, attached to result rows next to
+/// TraceStages. Self-contained: outlives the testbed.
+struct MetricsData {
+  std::vector<MetricSample> samples;  // sorted by canonical key
+  std::uint64_t sampler_frames = 0;   // time-series frames retained
+  std::uint64_t sampler_total = 0;    // ticks taken (incl. evicted)
+  std::string top_deltas;             // top-5 moving metrics, one line
+
+  /// Scalar value of a metric by canonical key, or `fallback`.
+  double value(const std::string& key, double fallback = 0) const;
+};
+
+/// Reads the testbed's registry (and sampler, if any) into a MetricsData.
+/// Call after the measured span, before teardown. Never null.
+std::shared_ptr<MetricsData> harvest_metrics(Testbed& tb);
 
 /// Stage summary of a harvested trace (all zeros for null / empty data).
 TraceStages trace_stages(const TraceData* data);
@@ -92,6 +113,8 @@ struct StreamOptions {
   SimDuration measure = msec(800);
   /// Event-path tracing for this run (off by default).
   TraceOptions trace;
+  /// Registry sampling cadence (on by default; passive either way).
+  MetricsOptions metrics;
 };
 
 struct StreamResult {
@@ -105,6 +128,8 @@ struct StreamResult {
   /// Null unless the run was traced.
   std::shared_ptr<TraceData> trace;
   TraceStages stages;
+  /// Final registry snapshot (never null after a run).
+  std::shared_ptr<MetricsData> metrics;
 };
 
 StreamResult run_stream(const StreamOptions& opts);
@@ -160,6 +185,7 @@ struct PingOptions {
   SimDuration interval = msec(250);
   std::uint64_t seed = 1;
   TraceOptions trace;
+  MetricsOptions metrics;
 };
 
 struct PingResult {
@@ -168,6 +194,7 @@ struct PingResult {
   std::int64_t lost = 0;
   std::shared_ptr<TraceData> trace;
   TraceStages stages;
+  std::shared_ptr<MetricsData> metrics;
 };
 
 PingResult run_ping(const PingOptions& opts);
@@ -186,6 +213,7 @@ struct MemcachedOptions {
   SimDuration warmup = msec(300);
   SimDuration measure = sec(1);
   TraceOptions trace;
+  MetricsOptions metrics;
 };
 
 struct MemcachedResult {
@@ -194,6 +222,7 @@ struct MemcachedResult {
   Histogram latency;           // ns per op
   std::shared_ptr<TraceData> trace;
   TraceStages stages;
+  std::shared_ptr<MetricsData> metrics;
 };
 
 MemcachedResult run_memcached(const MemcachedOptions& opts);
@@ -210,6 +239,7 @@ struct ApacheOptions {
   SimDuration warmup = msec(300);
   SimDuration measure = sec(1);
   TraceOptions trace;
+  MetricsOptions metrics;
 };
 
 struct ApacheResult {
@@ -217,6 +247,7 @@ struct ApacheResult {
   double throughput_mbps = 0;
   std::shared_ptr<TraceData> trace;
   TraceStages stages;
+  std::shared_ptr<MetricsData> metrics;
 };
 
 ApacheResult run_apache(const ApacheOptions& opts);
@@ -227,6 +258,7 @@ struct HttperfOptions {
   SimDuration duration = sec(3);
   std::uint64_t seed = 1;
   TraceOptions trace;
+  MetricsOptions metrics;
 };
 
 struct HttperfResult {
@@ -236,6 +268,7 @@ struct HttperfResult {
   std::int64_t retries = 0;
   std::shared_ptr<TraceData> trace;
   TraceStages stages;
+  std::shared_ptr<MetricsData> metrics;
 };
 
 HttperfResult run_httperf(const HttperfOptions& opts);

@@ -33,10 +33,13 @@ std::string ScenarioReport::to_line() const {
                   static_cast<unsigned long long>(events),
                   static_cast<double>(sim_now) / 1e6);
   }
-  return format("WATCHDOG %s: %s at sim %.3f ms after %llu events (%s)",
-                name.c_str(), to_string(status),
-                static_cast<double>(sim_now) / 1e6,
-                static_cast<unsigned long long>(events), detail.c_str());
+  std::string line =
+      format("WATCHDOG %s: %s at sim %.3f ms after %llu events (%s)",
+             name.c_str(), to_string(status),
+             static_cast<double>(sim_now) / 1e6,
+             static_cast<unsigned long long>(events), detail.c_str());
+  if (!telemetry.empty()) line += format(" telemetry: %s", telemetry.c_str());
+  return line;
 }
 
 ScenarioWatchdog::ScenarioWatchdog(Simulator& sim, ScenarioBudget budget)

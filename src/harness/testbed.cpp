@@ -3,6 +3,7 @@
 #include "base/assert.h"
 #include "base/strings.h"
 #include "harness/audits.h"
+#include "metrics/export.h"
 
 namespace es2 {
 
@@ -76,11 +77,60 @@ Testbed::Testbed(TestbedOptions options) : options_(std::move(options)) {
       }
     }
   }
+
+  register_all_metrics();
+  if (o.metrics.enabled) {
+    SamplerOptions so;
+    so.period = o.metrics.sample_period;
+    so.ring_capacity = o.metrics.ring_capacity;
+    sampler_ = std::make_unique<MetricsSampler>(*sim_, registry_, so);
+  }
+  if (auditor_) {
+    // A failed audit reports which metrics were moving when it tripped.
+    auditor_->set_context([this] {
+      if (sampler_ == nullptr) return std::string();
+      return top_metric_deltas(registry_, *sampler_, 5);
+    });
+  }
+}
+
+void Testbed::register_all_metrics() {
+  // Event core: scheduler-internal counters for the simulator's own queue.
+  const EventQueueStats* qs = &sim_->queue().stats();
+  registry_.probe("eventcore.scheduled",
+                  [qs] { return static_cast<double>(qs->scheduled); });
+  registry_.probe("eventcore.fired",
+                  [qs] { return static_cast<double>(qs->fired); });
+  registry_.probe("eventcore.cancelled",
+                  [qs] { return static_cast<double>(qs->cancelled); });
+  registry_.probe("eventcore.boxed_callbacks",
+                  [qs] { return static_cast<double>(qs->boxed_callbacks); });
+  registry_.probe("eventcore.peak_live",
+                  [qs] { return static_cast<double>(qs->peak_live); });
+  registry_.probe("eventcore.slabs_allocated",
+                  [qs] { return static_cast<double>(qs->slabs_allocated); });
+
+  host_->sched().register_metrics(registry_);
+  for (int v = 0; v < host_->num_vms(); ++v) {
+    Vm& vm = host_->vm(v);
+    for (int j = 0; j < vm.num_vcpus(); ++j)
+      vm.vcpu(j).register_metrics(registry_);
+  }
+  for (auto& guest : guests_) guest->register_metrics(registry_);
+  worker_->register_metrics(registry_);
+  backend_->register_metrics(registry_);
+  link_->a_to_b.register_metrics(registry_, "vm_to_peer");
+  link_->b_to_a.register_metrics(registry_, "peer_to_vm");
+  if (faults_) faults_->register_metrics(registry_);
 }
 
 Testbed::~Testbed() = default;
 
 void Testbed::start() {
+  // Start the sampler first so late-registered workload instruments (apps
+  // attach between construction and start) are still inside the frozen
+  // set.
+  if (sampler_) sampler_->start();
   for (int v = 0; v < host_->num_vms(); ++v) host_->vm(v).start();
 }
 

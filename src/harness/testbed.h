@@ -21,6 +21,8 @@
 #include "fault/fault.h"
 #include "guest/guest_os.h"
 #include "guest/virtio_net.h"
+#include "metrics/metrics.h"
+#include "metrics/sampler.h"
 #include "net/link.h"
 #include "net/peer.h"
 #include "sim/invariant_auditor.h"
@@ -59,6 +61,11 @@ struct TestbedOptions {
   /// to the simulator; hooks only emit when the build also compiled them
   /// in (-DES2_TRACE=ON). Off by default: zero records, zero overhead.
   TraceOptions trace;
+  /// Unified telemetry. Instruments register across every layer either
+  /// way; `metrics.enabled` additionally runs a MetricsSampler on a
+  /// deterministic in-sim cadence. Sampling is passive: on-vs-off leaves
+  /// golden outputs bit-identical.
+  MetricsOptions metrics;
 };
 
 class Testbed {
@@ -89,6 +96,12 @@ class Testbed {
   /// Null unless options.trace.enabled.
   Tracer* tracer() { return tracer_.get(); }
 
+  /// The unified registry; every layer's instruments live here.
+  MetricsRegistry& metrics() { return registry_; }
+  const MetricsRegistry& metrics() const { return registry_; }
+  /// Null unless options.metrics.enabled; started by start().
+  MetricsSampler* sampler() { return sampler_.get(); }
+
   /// Starts every VM (vCPUs + guest timers).
   void start();
 
@@ -97,6 +110,8 @@ class Testbed {
   SimDuration run_measured(SimDuration warmup, SimDuration measure);
 
  private:
+  void register_all_metrics();
+
   TestbedOptions options_;
   std::unique_ptr<Simulator> sim_;
   std::unique_ptr<KvmHost> host_;
@@ -111,6 +126,10 @@ class Testbed {
   std::unique_ptr<FaultInjector> faults_;
   std::unique_ptr<InvariantAuditor> auditor_;
   std::unique_ptr<Tracer> tracer_;
+  // Last: the sampler references both the registry and the simulator, so
+  // it must be torn down first.
+  MetricsRegistry registry_;
+  std::unique_ptr<MetricsSampler> sampler_;
 };
 
 }  // namespace es2

@@ -1,0 +1,27 @@
+// Registers the allocation-hook counters as registry probes.
+//
+// Header-only on purpose: es2::test::allocation_count() is defined by the
+// `es2_alloc_hook` library, which only test and bench binaries link (the
+// core libraries never do — see src/base/CMakeLists.txt). Including this
+// header therefore creates a link-time dependency on the hook, so it must
+// only be included from binaries that link es2_alloc_hook.
+#pragma once
+
+#include "base/alloc_hook.h"
+#include "metrics/metrics.h"
+
+namespace es2 {
+
+/// Exposes process-wide heap traffic as `process.allocs` /
+/// `process.alloc_bytes` probes. Cumulative since process start, so a flat
+/// sampled series over a region proves the region allocates nothing.
+inline void register_alloc_metrics(MetricsRegistry& registry) {
+  registry.probe("process.allocs", [] {
+    return static_cast<double>(test::allocation_count());
+  });
+  registry.probe("process.alloc_bytes", [] {
+    return static_cast<double>(test::allocation_bytes());
+  });
+}
+
+}  // namespace es2

@@ -1,0 +1,331 @@
+#include "metrics/bench_schema.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/strings.h"
+#include "trace/export.h"  // write_file / read_file
+
+namespace es2 {
+
+namespace {
+constexpr const char* kBenchSchema = "es2-bench-v1";
+}
+
+void BenchReport::upsert(const std::string& name, BenchMetric m) {
+  for (auto& [k, existing] : metrics_) {
+    if (k == name) {
+      existing = m;
+      return;
+    }
+  }
+  metrics_.emplace_back(name, m);
+}
+
+void BenchReport::add_series(const std::string& name,
+                             std::vector<double> values) {
+  for (auto& [k, existing] : series_) {
+    if (k == name) {
+      existing = std::move(values);
+      return;
+    }
+  }
+  series_.emplace_back(name, std::move(values));
+}
+
+const BenchMetric* BenchReport::find(const std::string& name) const {
+  for (const auto& [k, m] : metrics_) {
+    if (k == name) return &m;
+  }
+  return nullptr;
+}
+
+const std::vector<double>* BenchReport::find_series(
+    const std::string& name) const {
+  for (const auto& [k, v] : series_) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+Json BenchReport::to_json() const {
+  Json doc = Json::object();
+  doc.set("schema", Json::string(kBenchSchema));
+  doc.set("bench", Json::string(bench_));
+  doc.set("fast", Json::boolean(fast_));
+  doc.set("seed", Json::number(static_cast<double>(seed_)));
+  Json metrics = Json::object();
+  for (const auto& [name, m] : metrics_) {
+    Json entry = Json::object();
+    entry.set("value", Json::number(m.value));
+    entry.set("tol", Json::number(m.tol));
+    entry.set("gate", Json::boolean(m.gate));
+    metrics.set(name, std::move(entry));
+  }
+  doc.set("metrics", std::move(metrics));
+  if (!series_.empty()) {
+    Json series = Json::object();
+    for (const auto& [name, values] : series_) {
+      Json arr = Json::array();
+      for (double v : values) arr.push_back(Json::number(v));
+      series.set(name, std::move(arr));
+    }
+    doc.set("series", std::move(series));
+  }
+  return doc;
+}
+
+bool BenchReport::from_json(const Json& doc, BenchReport* out,
+                            std::string* error) {
+  *out = BenchReport();
+  if (doc.string_or("schema", "") != kBenchSchema) {
+    if (error) *error = "bench: unexpected schema (want es2-bench-v1)";
+    return false;
+  }
+  out->bench_ = doc.string_or("bench", "");
+  if (out->bench_.empty()) {
+    if (error) *error = "bench: missing bench name";
+    return false;
+  }
+  out->fast_ = doc.bool_or("fast", false);
+  out->seed_ = static_cast<std::uint64_t>(doc.number_or("seed", 1));
+  const Json* metrics = doc.find("metrics");
+  if (!metrics || !metrics->is_object()) {
+    if (error) *error = "bench: missing metrics object";
+    return false;
+  }
+  for (const auto& [name, entry] : metrics->members()) {
+    BenchMetric m;
+    m.value = entry.number_or("value", 0.0);
+    m.tol = entry.number_or("tol", 0.05);
+    m.gate = entry.bool_or("gate", true);
+    out->metrics_.emplace_back(name, m);
+  }
+  if (const Json* series = doc.find("series")) {
+    for (const auto& [name, arr] : series->members()) {
+      std::vector<double> values;
+      values.reserve(arr.size());
+      for (std::size_t i = 0; i < arr.size(); ++i) {
+        values.push_back(arr.at(i).as_number());
+      }
+      out->series_.emplace_back(name, std::move(values));
+    }
+  }
+  return true;
+}
+
+bool BenchReport::write_file(const std::string& path) const {
+  return es2::write_file(path, to_json().dump(2));
+}
+
+bool BenchReport::read_file(const std::string& path, BenchReport* out,
+                            std::string* error) {
+  std::string text;
+  if (!es2::read_file(path, &text)) {
+    if (error) *error = "bench: cannot read " + path;
+    return false;
+  }
+  Json doc;
+  if (!Json::parse(text, &doc, error)) return false;
+  return from_json(doc, out, error);
+}
+
+bool BenchDiff::ok() const {
+  if (!comparable) return false;
+  if (!missing.empty()) return false;
+  for (const MetricDelta& d : deltas) {
+    if (d.fail) return false;
+  }
+  return true;
+}
+
+std::vector<std::string> BenchDiff::failures() const {
+  std::vector<std::string> out;
+  if (!comparable) out.push_back(bench + ": " + incomparable_why);
+  for (const MetricDelta& d : deltas) {
+    if (d.fail) {
+      out.push_back(bench + "/" + d.metric + ": " +
+                    format("%+.2f%% vs baseline (tol %.1f%%)", d.rel * 100.0,
+                           d.tol * 100.0));
+    }
+  }
+  for (const std::string& m : missing) {
+    out.push_back(bench + "/" + m + ": gated metric missing from run");
+  }
+  return out;
+}
+
+BenchDiff diff_bench(const BenchReport& baseline, const BenchReport& current) {
+  BenchDiff diff;
+  diff.bench = baseline.bench();
+  if (baseline.bench() != current.bench()) {
+    diff.comparable = false;
+    diff.incomparable_why = "bench name mismatch (" + baseline.bench() +
+                            " vs " + current.bench() + ")";
+    return diff;
+  }
+  if (baseline.fast() != current.fast() || baseline.seed() != current.seed()) {
+    diff.comparable = false;
+    diff.incomparable_why =
+        format("run stamp mismatch: baseline fast=%d seed=%llu, run fast=%d "
+               "seed=%llu",
+               baseline.fast() ? 1 : 0,
+               static_cast<unsigned long long>(baseline.seed()),
+               current.fast() ? 1 : 0,
+               static_cast<unsigned long long>(current.seed()));
+    return diff;
+  }
+  for (const auto& [name, base] : baseline.metrics()) {
+    const BenchMetric* cur = current.find(name);
+    if (!cur) {
+      if (base.gate) diff.missing.push_back(name);
+      continue;
+    }
+    MetricDelta d;
+    d.metric = name;
+    d.baseline = base.value;
+    d.current = cur->value;
+    d.tol = base.tol;
+    d.gate = base.gate;
+    if (base.value != 0.0) {
+      d.rel = cur->value / base.value - 1.0;
+    } else {
+      d.rel = cur->value == 0.0 ? 0.0 : INFINITY;
+    }
+    d.fail = d.gate && std::fabs(d.rel) > d.tol;
+    diff.deltas.push_back(std::move(d));
+  }
+  for (const auto& [name, m] : current.metrics()) {
+    (void)m;
+    if (!baseline.find(name)) diff.extra.push_back(name);
+  }
+  return diff;
+}
+
+std::string sparkline(const std::vector<double>& values, std::size_t width) {
+  static const char* kBlocks[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  if (values.empty() || width == 0) return "";
+  // Downsample by averaging evenly-split chunks so long series still fit.
+  std::vector<double> cells;
+  const std::size_t n = values.size();
+  const std::size_t w = std::min(width, n);
+  cells.reserve(w);
+  for (std::size_t c = 0; c < w; ++c) {
+    const std::size_t lo = c * n / w;
+    const std::size_t hi = std::max(lo + 1, (c + 1) * n / w);
+    double sum = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) sum += values[i];
+    cells.push_back(sum / static_cast<double>(hi - lo));
+  }
+  const auto [mn_it, mx_it] = std::minmax_element(cells.begin(), cells.end());
+  const double mn = *mn_it, mx = *mx_it;
+  std::string out;
+  for (double v : cells) {
+    int level = 3;  // flat series renders as a middle row
+    if (mx > mn) {
+      level = static_cast<int>((v - mn) / (mx - mn) * 7.0 + 0.5);
+      level = std::clamp(level, 0, 7);
+    }
+    out += kBlocks[level];
+  }
+  return out;
+}
+
+namespace {
+
+std::string human(double v) {
+  if (v == 0.0) return "0";
+  const double a = std::fabs(v);
+  if (a >= 1e6 || a < 1e-3) return format("%.3g", v);
+  if (v == std::floor(v) && a < 1e15) return format("%.0f", v);
+  return format("%.3f", v);
+}
+
+}  // namespace
+
+std::string render_markdown(const std::vector<BenchDiff>& diffs,
+                            const std::vector<const BenchReport*>& baselines,
+                            const std::vector<const BenchReport*>& currents) {
+  std::string out = "# Bench regression report\n\n";
+  std::size_t failing = 0;
+  for (const BenchDiff& d : diffs) {
+    if (!d.ok()) ++failing;
+  }
+  out += format("%zu bench(es), %zu failing.\n\n", diffs.size(), failing);
+
+  out += "| bench | status | gated | worst gated delta |\n";
+  out += "|---|---|---:|---|\n";
+  for (const BenchDiff& d : diffs) {
+    std::size_t gated = 0;
+    const MetricDelta* worst = nullptr;
+    for (const MetricDelta& m : d.deltas) {
+      if (!m.gate) continue;
+      ++gated;
+      if (!worst || std::fabs(m.rel) > std::fabs(worst->rel)) worst = &m;
+    }
+    out += "| " + d.bench + " | " + (d.ok() ? "ok" : "**FAIL**") + " | " +
+           format("%zu", gated) + " | " +
+           (worst ? worst->metric + " " + format("%+.2f%%", worst->rel * 100.0)
+                  : "—") +
+           " |\n";
+  }
+  out += "\n";
+
+  for (std::size_t bi = 0; bi < diffs.size(); ++bi) {
+    const BenchDiff& d = diffs[bi];
+    const BenchReport* base = bi < baselines.size() ? baselines[bi] : nullptr;
+    const BenchReport* cur = bi < currents.size() ? currents[bi] : nullptr;
+    out += "## " + d.bench + (d.ok() ? "" : " — FAIL") + "\n\n";
+    if (!d.comparable) {
+      out += d.incomparable_why + "\n\n";
+      continue;
+    }
+    out += "| metric | baseline | current | delta | tol | trend |\n";
+    out += "|---|---:|---:|---:|---:|---|\n";
+    for (const MetricDelta& m : d.deltas) {
+      // Per-metric trend: the run's sampled series when the bench exported
+      // one, else the two-point baseline->current pair.
+      std::string trend;
+      const std::vector<double>* series =
+          cur ? cur->find_series(m.metric) : nullptr;
+      if (series && !series->empty()) {
+        trend = sparkline(*series);
+      } else {
+        trend = sparkline({m.baseline, m.current}, 2);
+      }
+      std::string delta = std::isinf(m.rel)
+                              ? "new-nonzero"
+                              : format("%+.2f%%", m.rel * 100.0);
+      if (m.fail) delta = "**" + delta + "**";
+      out += "| " + m.metric + (m.gate ? "" : " *(info)*") + " | " +
+             human(m.baseline) + " | " + human(m.current) + " | " + delta +
+             " | " + (m.gate ? format("%.1f%%", m.tol * 100.0) : "—") + " | " +
+             trend + " |\n";
+    }
+    for (const std::string& name : d.missing) {
+      out += "| " + name + " | " +
+             (base && base->find(name) ? human(base->find(name)->value) : "?") +
+             " | *missing* | **missing** | — | |\n";
+    }
+    for (const std::string& name : d.extra) {
+      out += "| " + name + " *(new)* | — | " +
+             (cur && cur->find(name) ? human(cur->find(name)->value) : "?") +
+             " | — | — | |\n";
+    }
+    out += "\n";
+  }
+
+  std::vector<std::string> all_failures;
+  for (const BenchDiff& d : diffs) {
+    auto f = d.failures();
+    all_failures.insert(all_failures.end(), f.begin(), f.end());
+  }
+  if (!all_failures.empty()) {
+    out += "## Failures\n\n";
+    for (const std::string& f : all_failures) out += "- " + f + "\n";
+  }
+  return out;
+}
+
+}  // namespace es2

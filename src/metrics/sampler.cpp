@@ -1,0 +1,59 @@
+#include "metrics/sampler.h"
+
+#include "base/assert.h"
+
+namespace es2 {
+
+MetricsSampler::MetricsSampler(Simulator& sim, const MetricsRegistry& registry,
+                               SamplerOptions options)
+    : sim_(sim),
+      registry_(registry),
+      options_(options),
+      timer_(sim, options.period, [this] { tick(); }) {
+  ES2_CHECK_MSG(options_.period > 0, "sampler period must be positive");
+  ES2_CHECK_MSG(options_.ring_capacity > 0, "sampler ring must hold a frame");
+}
+
+void MetricsSampler::start() {
+  if (timer_.running()) return;
+  frozen_ = registry_.size();
+  times_.assign(options_.ring_capacity, 0);
+  values_.assign(options_.ring_capacity * frozen_, 0.0);
+  total_samples_ = 0;
+  head_ = 0;
+  timer_.start();
+}
+
+void MetricsSampler::stop() { timer_.stop(); }
+
+void MetricsSampler::tick() {
+  const std::size_t slot = head_;
+  times_[slot] = sim_.now();
+  double* row = values_.data() + slot * frozen_;
+  for (std::size_t i = 0; i < frozen_; ++i) row[i] = registry_.value(i);
+  head_ = (head_ + 1) % options_.ring_capacity;
+  ++total_samples_;
+}
+
+std::size_t MetricsSampler::frames() const {
+  return total_samples_ < options_.ring_capacity
+             ? static_cast<std::size_t>(total_samples_)
+             : options_.ring_capacity;
+}
+
+std::size_t MetricsSampler::raw_index(std::size_t f) const {
+  ES2_DCHECK(f < frames());
+  if (total_samples_ < options_.ring_capacity) return f;
+  return (head_ + f) % options_.ring_capacity;
+}
+
+SimTime MetricsSampler::frame_time(std::size_t f) const {
+  return times_[raw_index(f)];
+}
+
+double MetricsSampler::frame_value(std::size_t f, std::size_t i) const {
+  ES2_DCHECK(i < frozen_);
+  return values_[raw_index(f) * frozen_ + i];
+}
+
+}  // namespace es2

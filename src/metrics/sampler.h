@@ -1,0 +1,88 @@
+// Deterministic in-sim time-series sampling of a MetricsRegistry.
+//
+// The sampler is a PeriodicTimer that, every `period` of *simulated* time,
+// reads every registered instrument into a preallocated ring of frames.
+// Because the cadence is simulated time (not wall clock) the series is a
+// pure function of the seed: two same-seed runs produce byte-identical
+// exports.
+//
+// Passivity: the sample callback draws no RNG values, mutates no model
+// state, and schedules nothing beyond its own next tick. The tick events
+// shift the global event sequence numbers of later model events uniformly,
+// which preserves their relative order — so a metrics-on run is
+// bit-identical to metrics-off on every committed golden. (Guest timers
+// already run perpetually, so the sampler introduces no new
+// run_to_completion hazard.)
+//
+// Zero steady-state allocation: start() freezes the instrument count and
+// preallocates `capacity` frames; each tick writes in place. Instruments
+// registered after start() are not sampled (they still appear in final
+// snapshots).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "base/units.h"
+#include "metrics/metrics.h"
+#include "sim/simulator.h"
+
+namespace es2 {
+
+struct SamplerOptions {
+  SimDuration period = msec(2);
+  std::size_t ring_capacity = 512;  // frames retained (oldest evicted)
+};
+
+/// Harness-level switch for the registry + sampler pair. Instruments are
+/// always registered (probes are free until read); `enabled` controls
+/// whether a sampler runs and records time series.
+struct MetricsOptions {
+  bool enabled = true;
+  SimDuration sample_period = msec(2);
+  std::size_t ring_capacity = 512;
+};
+
+class MetricsSampler {
+ public:
+  MetricsSampler(Simulator& sim, const MetricsRegistry& registry,
+                 SamplerOptions options = {});
+
+  /// Freezes the instrument set, preallocates the ring and starts the
+  /// periodic tick. Idempotent.
+  void start();
+  void stop();
+  bool running() const { return timer_.running(); }
+
+  SimDuration period() const { return options_.period; }
+
+  /// Number of instruments frozen at start() (0 before).
+  std::size_t instruments() const { return frozen_; }
+
+  /// Frames currently retained (<= ring_capacity), oldest first.
+  std::size_t frames() const;
+  /// Total ticks taken since start(), including evicted ones.
+  std::uint64_t total_samples() const { return total_samples_; }
+
+  /// Sim time of retained frame `f` (f in [0, frames()), oldest first).
+  SimTime frame_time(std::size_t f) const;
+  /// Value of instrument `i` in retained frame `f`.
+  double frame_value(std::size_t f, std::size_t i) const;
+
+ private:
+  void tick();
+  std::size_t raw_index(std::size_t f) const;
+
+  Simulator& sim_;
+  const MetricsRegistry& registry_;
+  SamplerOptions options_;
+  PeriodicTimer timer_;
+  std::size_t frozen_ = 0;
+  std::uint64_t total_samples_ = 0;
+  std::size_t head_ = 0;  // next slot to write
+  std::vector<SimTime> times_;    // ring_capacity entries
+  std::vector<double> values_;    // ring_capacity * frozen_ entries
+};
+
+}  // namespace es2

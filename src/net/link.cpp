@@ -4,6 +4,7 @@
 
 #include "base/assert.h"
 #include "fault/fault.h"
+#include "metrics/metrics.h"
 
 namespace es2 {
 
@@ -40,6 +41,20 @@ void Link::transmit(PacketPtr packet) {
   }
   sim_.at(done + latency_ + extra, [this, packet = std::move(packet)]() mutable {
     receiver_(std::move(packet));
+  });
+}
+
+void Link::register_metrics(MetricsRegistry& registry,
+                            const std::string& direction) {
+  MetricLabels labels = {{"link", direction}};
+  registry.probe("net.link.packets", labels, [this] {
+    return static_cast<double>(packets_.value());
+  });
+  registry.probe("net.link.bytes", labels, [this] {
+    return static_cast<double>(bytes_.value());
+  });
+  registry.probe("net.link.dropped", labels, [this] {
+    return static_cast<double>(dropped_.value());
   });
 }
 

@@ -17,6 +17,7 @@
 namespace es2 {
 
 class FaultInjector;
+class MetricsRegistry;
 
 class Link {
  public:
@@ -39,6 +40,10 @@ class Link {
   Bytes bytes_sent() const { return bytes_.value(); }
   /// Packets lost on the wire (fault injection); a perfect link stays 0.
   std::int64_t packets_dropped() const { return dropped_.value(); }
+
+  /// Registers wire telemetry probes (label link=<direction>).
+  void register_metrics(MetricsRegistry& registry,
+                        const std::string& direction);
 
  private:
   SimDuration serialization_delay(Bytes size) const;

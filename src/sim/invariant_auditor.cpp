@@ -39,8 +39,10 @@ int InvariantAuditor::run_now() {
     ES2_ERROR(sim_.now(), "invariant violated [%s]: %s", c.name.c_str(),
               violation->c_str());
     if (static_cast<int>(violations_.size()) < kMaxRecorded) {
-      violations_.push_back(
-          Violation{sim_.now(), c.name, std::move(*violation), corr});
+      std::string context = context_ ? context_() : std::string();
+      violations_.push_back(Violation{sim_.now(), c.name,
+                                      std::move(*violation), corr,
+                                      std::move(context)});
     }
   }
   return found;

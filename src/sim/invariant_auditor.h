@@ -39,6 +39,9 @@ class InvariantAuditor {
     /// Correlation id of the journey nearest the violation (the last id an
     /// attached tracer saw); 0 when tracing is off or no journey ran yet.
     std::uint64_t corr = 0;
+    /// Telemetry context captured at the violation (see set_context);
+    /// empty when no context provider is attached.
+    std::string context;
   };
 
   explicit InvariantAuditor(Simulator& sim, SimDuration period = msec(1));
@@ -46,6 +49,13 @@ class InvariantAuditor {
   InvariantAuditor& operator=(const InvariantAuditor&) = delete;
 
   void add_check(std::string name, Check check);
+
+  /// Attaches a context provider, evaluated lazily when a violation is
+  /// recorded (e.g. the registry's top metric deltas). Runs at most
+  /// kMaxRecorded times per auditor, so it may be moderately expensive.
+  void set_context(std::function<std::string()> context) {
+    context_ = std::move(context);
+  }
 
   /// Starts/stops the periodic sweep.
   void start();
@@ -71,6 +81,7 @@ class InvariantAuditor {
 
   Simulator& sim_;
   PeriodicTimer timer_;
+  std::function<std::string()> context_;
   std::vector<Named> checks_;
   std::vector<Violation> violations_;
   std::uint64_t sweeps_ = 0;

@@ -3,6 +3,7 @@
 #include "base/assert.h"
 #include "base/strings.h"
 #include "fault/fault.h"
+#include "metrics/metrics.h"
 #include "trace/hooks.h"
 
 namespace es2 {
@@ -87,6 +88,7 @@ void VhostWorker::main_loop() {
   SimDuration wait = handler->ready_at_ > now ? handler->ready_at_ - now : 0;
   if (was_sleeping_) {
     was_sleeping_ = false;
+    ++wakeups_;
     if (rng_.bernoulli(slow_wakeup_prob_)) {
       // Slow path: the worker lost the scheduling race (host softirq,
       // timer tick, cache-cold migration). Exponential tail: rare wakeups
@@ -478,6 +480,52 @@ void VhostNetBackend::receive_from_wire(PacketPtr packet) {
 #endif
   sock_buf_.push_back(std::move(packet));
   worker_.activate(*rx_handler_);
+}
+
+void VhostWorker::register_metrics(MetricsRegistry& registry) {
+  MetricLabels labels = {{"worker", thread_.name()}};
+  registry.probe("vhost.worker.turns", labels, [this] {
+    return static_cast<double>(turns_);
+  });
+  registry.probe("vhost.worker.wakeups", labels, [this] {
+    return static_cast<double>(wakeups_);
+  });
+  registry.probe("vhost.worker.active_handlers", labels, [this] {
+    return static_cast<double>(active_.size());
+  });
+}
+
+void VhostNetBackend::register_metrics(MetricsRegistry& registry) {
+  MetricLabels labels = {{"vm", vm_.name()}};
+  registry.probe("vhost.tx.packets", labels, [this] {
+    return static_cast<double>(tx_packets_);
+  });
+  registry.probe("vhost.rx.packets", labels, [this] {
+    return static_cast<double>(rx_packets_);
+  });
+  registry.probe("vhost.tx.irqs", labels, [this] {
+    return static_cast<double>(tx_irqs_);
+  });
+  registry.probe("vhost.rx.irqs", labels, [this] {
+    return static_cast<double>(rx_irqs_);
+  });
+  registry.probe("vhost.tx.mode_reverts", labels, [this] {
+    return static_cast<double>(tx_reverts_);
+  });
+  registry.probe("vhost.tx.quota_hits", labels, [this] {
+    return static_cast<double>(tx_quota_hits_);
+  });
+  registry.probe("vhost.rx.dropped", labels, [this] {
+    return static_cast<double>(rx_dropped_);
+  });
+  registry.probe("vhost.rx.repolls", labels, [this] {
+    return static_cast<double>(rx_repolls_);
+  });
+  registry.probe("vhost.rx.sock_backlog", labels, [this] {
+    return static_cast<double>(sock_buf_.size());
+  });
+  tx_vq_.register_metrics(registry, vm_.name());
+  rx_vq_.register_metrics(registry, vm_.name());
 }
 
 }  // namespace es2

@@ -37,6 +37,7 @@
 namespace es2 {
 
 class FaultInjector;
+class MetricsRegistry;
 class VhostWorker;
 
 /// One schedulable unit of back-end work (a virtqueue handler).
@@ -102,7 +103,13 @@ class VhostWorker {
   KvmHost& host() { return host_; }
   SimThread& thread() { return thread_; }
   std::uint64_t turns() const { return turns_; }
+  /// Sleep->run transitions (eventfd wakeups); turns without a wakeup ran
+  /// in polling mode.
+  std::uint64_t wakeups() const { return wakeups_; }
   SimDuration requeue_delay() const { return requeue_delay_; }
+
+  /// Registers worker telemetry probes (label worker=<thread name>).
+  void register_metrics(MetricsRegistry& registry);
 
   /// Attaches a fault injector (random dispatch stalls). Null (the
   /// default) keeps the worker stall-free.
@@ -122,6 +129,7 @@ class VhostWorker {
   bool was_sleeping_ = true;
   std::deque<VqHandler*> active_;
   std::uint64_t turns_ = 0;
+  std::uint64_t wakeups_ = 0;
 };
 
 /// Per-packet back-end cost knobs (host-side processing).
@@ -206,6 +214,10 @@ class VhostNetBackend {
   /// before the quota filled) vs. by hitting the quota (stay polling).
   std::int64_t tx_mode_reverts() const { return tx_reverts_; }
   std::int64_t tx_quota_hits() const { return tx_quota_hits_; }
+
+  /// Registers backend telemetry — per-direction packet/IRQ counts, mode
+  /// transitions, drops — plus both virtqueues' probes (label vm=<name>).
+  void register_metrics(MetricsRegistry& registry);
 
  private:
   class TxHandler;

@@ -1,6 +1,7 @@
 #include "virtio/virtqueue.h"
 
 #include "base/assert.h"
+#include "metrics/metrics.h"
 
 namespace es2 {
 
@@ -59,9 +60,30 @@ std::optional<Virtqueue::Entry> Virtqueue::pop_used() {
 bool Virtqueue::enable_notifications() {
   notifications_enabled_ = true;
   avail_event_ = avail_idx_;
+  ++notify_enables_;
   // vhost re-check: work may have been added between the last empty poll
   // and the re-enable.
   return has_avail();
+}
+
+void Virtqueue::register_metrics(MetricsRegistry& registry,
+                                 const std::string& vm_name) {
+  MetricLabels labels = {{"vm", vm_name}, {"vq", name_}};
+  registry.probe("virtio.vq.added", labels, [this] {
+    return static_cast<double>(avail_idx_);
+  });
+  registry.probe("virtio.vq.used", labels, [this] {
+    return static_cast<double>(used_idx_);
+  });
+  registry.probe("virtio.vq.in_flight", labels, [this] {
+    return static_cast<double>(in_flight_);
+  });
+  registry.probe("virtio.vq.notify_enables", labels, [this] {
+    return static_cast<double>(notify_enables_);
+  });
+  registry.probe("virtio.vq.irq_enables", labels, [this] {
+    return static_cast<double>(irq_enables_);
+  });
 }
 
 }  // namespace es2

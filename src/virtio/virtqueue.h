@@ -30,6 +30,8 @@
 
 namespace es2 {
 
+class MetricsRegistry;
+
 class Virtqueue {
  public:
   struct Entry {
@@ -64,6 +66,7 @@ class Virtqueue {
   void enable_interrupts() {
     interrupts_enabled_ = true;
     used_event_ = used_idx_;
+    ++irq_enables_;
   }
   void disable_interrupts() { interrupts_enabled_ = false; }
   bool interrupts_enabled() const { return interrupts_enabled_; }
@@ -96,6 +99,18 @@ class Virtqueue {
   std::int64_t total_used() const { return used_idx_; }
   int in_flight() const { return in_flight_; }
 
+  /// Suppression-protocol activity: times the host re-armed guest kicks
+  /// (leaving polling mode) and times the guest re-armed interrupts
+  /// (leaving NAPI poll). Low enable counts under load mean suppression
+  /// is sticking — the paper's polling-mode signature.
+  std::int64_t notify_enables() const { return notify_enables_; }
+  std::int64_t irq_enables() const { return irq_enables_; }
+
+  /// Registers this queue's occupancy and suppression telemetry as probes
+  /// (labels vm=<vm_name>, vq=<name>).
+  void register_metrics(MetricsRegistry& registry,
+                        const std::string& vm_name);
+
  private:
   std::string name_;
   int capacity_;
@@ -112,6 +127,9 @@ class Virtqueue {
   bool interrupts_enabled_ = true;
   std::int64_t used_idx_ = 0;     // total entries the host has completed
   std::int64_t used_event_ = 0;
+
+  std::int64_t notify_enables_ = 0;
+  std::int64_t irq_enables_ = 0;
 };
 
 }  // namespace es2

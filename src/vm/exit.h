@@ -54,6 +54,13 @@ class ExitStats {
   }
   std::int64_t total() const { return total_ - window_total_base_; }
 
+  /// Cumulative counts since construction, ignoring the measurement
+  /// window — what the metrics registry samples (monotone time-series).
+  std::int64_t lifetime_count(ExitReason reason) const {
+    return counts_[static_cast<size_t>(reason)];
+  }
+  std::int64_t lifetime_total() const { return total_; }
+
   /// Exits per second for one cause over the window ending at `now`.
   double rate(ExitReason reason, SimTime now) const;
   double total_rate(SimTime now) const;

@@ -3,6 +3,7 @@
 #include "base/assert.h"
 #include "base/log.h"
 #include "base/strings.h"
+#include "metrics/metrics.h"
 #include "trace/hooks.h"
 #include "vm/vm.h"
 
@@ -427,6 +428,52 @@ void Vcpu::noise_tick() {
             [this] { vm_entry(); });
   }
   arm_noise_timer();
+}
+
+void Vcpu::register_metrics(MetricsRegistry& registry) {
+  MetricLabels base = {{"vm", vm_.name()},
+                       {"vcpu", format("%d", index_)}};
+  for (int r = 0; r < kNumExitReasons; ++r) {
+    const auto reason = static_cast<ExitReason>(r);
+    if (reason == ExitReason::kCount) continue;
+    MetricLabels labels = base;
+    labels.emplace_back("cause", exit_reason_name(reason));
+    registry.probe("vm.exits", std::move(labels), [this, reason] {
+      return static_cast<double>(stats_.lifetime_count(reason));
+    });
+  }
+  registry.probe("vm.exits.total", base, [this] {
+    return static_cast<double>(stats_.lifetime_total());
+  });
+  registry.probe("vm.irqs_taken", base, [this] {
+    return static_cast<double>(irqs_taken_);
+  });
+  if (vm_.irq_mode() == InterruptVirtMode::kExitlessDirect) {
+    registry.probe("vm.eli.stalls", base, [this] {
+      return static_cast<double>(eli_stalls_);
+    });
+    registry.probe("vm.eli.hazards", base, [this] {
+      return static_cast<double>(eli_hazards_);
+    });
+  }
+  registry.probe("apic.lapic.posts", base, [this] {
+    return static_cast<double>(lapic_.posts());
+  });
+  registry.probe("apic.lapic.eois", base, [this] {
+    return static_cast<double>(lapic_.eois());
+  });
+  registry.probe("apic.lapic.pending", base, [this] {
+    return static_cast<double>(lapic_.pending_count());
+  });
+  registry.probe("apic.pi.posts", base, [this] {
+    return static_cast<double>(vapic_.pi().posts());
+  });
+  registry.probe("apic.pi.notifications", base, [this] {
+    return static_cast<double>(vapic_.pi().notifications());
+  });
+  registry.probe("apic.vapic.eois", base, [this] {
+    return static_cast<double>(vapic_.eois());
+  });
 }
 
 }  // namespace es2

@@ -29,6 +29,7 @@
 
 namespace es2 {
 
+class MetricsRegistry;
 class Vm;
 
 /// How virtual interrupts reach this VM (the paper's Baseline vs PI axis,
@@ -113,6 +114,11 @@ class Vcpu {
   /// True when interrupt delivery/completion need no VM exits (PI or
   /// ELI-style deprivileging).
   bool exitless_irqs() const;
+
+  /// Registers this vCPU's telemetry — exit counts by cause, interrupts
+  /// taken, LAPIC/PI activity — as read-only probes over the counters
+  /// above (labels vm=<name>, vcpu=<index>). Zero hot-path cost.
+  void register_metrics(MetricsRegistry& registry);
 
  private:
   enum class Mode { kHost, kGuest };

@@ -1,0 +1,410 @@
+// Metrics subsystem tests: registry identity and lookup, deterministic
+// sampler cadence, export byte-identity and round-trips, passivity of the
+// sampling path, zero steady-state allocation, histogram edge cases, and
+// the bench-report schema's regression-gate logic.
+//
+// This binary links es2_alloc_hook, so the allocation assertions measure
+// real global operator new traffic.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "base/alloc_hook.h"
+#include "harness/experiments.h"
+#include "harness/testbed.h"
+#include "metrics/alloc_metrics.h"
+#include "metrics/bench_schema.h"
+#include "metrics/export.h"
+#include "metrics/metrics.h"
+#include "metrics/sampler.h"
+#include "sim/simulator.h"
+#include "stats/histogram.h"
+
+namespace es2 {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Registry: identity, labels, lookup
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistry, CanonicalKeySortsLabels) {
+  EXPECT_EQ(metric_key("vm.exits", {}), "vm.exits");
+  EXPECT_EQ(metric_key("vm.exits", {{"cause", "hlt"}}), "vm.exits{cause=hlt}");
+  // Label order in the argument does not matter: keys sort.
+  EXPECT_EQ(metric_key("x", {{"b", "2"}, {"a", "1"}}), "x{a=1,b=2}");
+  EXPECT_EQ(metric_key("x", {{"a", "1"}, {"b", "2"}}), "x{a=1,b=2}");
+}
+
+TEST(MetricsRegistry, SameNameAndLabelsReturnsSameInstrument) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("vm.exits", {{"cause", "io"}});
+  Counter& b = reg.counter("vm.exits", {{"cause", "io"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(reg.size(), 1u);
+  // Different labels make a different instrument.
+  Counter& c = reg.counter("vm.exits", {{"cause", "hlt"}});
+  EXPECT_NE(&a, &c);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(MetricsRegistry, FindByCanonicalKey) {
+  MetricsRegistry reg;
+  reg.counter("tcp.retransmits", {{"flow", "7"}}).add(3);
+  reg.gauge("vq.depth").set(12);
+  const MetricsRegistry::Instrument* rtx =
+      reg.find("tcp.retransmits{flow=7}");
+  ASSERT_NE(rtx, nullptr);
+  EXPECT_EQ(rtx->kind, MetricKind::kCounter);
+  EXPECT_EQ(rtx->counter.value(), 3);
+  ASSERT_NE(reg.find("vq.depth"), nullptr);
+  EXPECT_EQ(reg.find("vq.depth{core=0}"), nullptr);
+  EXPECT_EQ(reg.find("nope"), nullptr);
+}
+
+TEST(MetricsRegistry, ProbeReadsThroughClosure) {
+  MetricsRegistry reg;
+  double level = 4.0;
+  reg.probe("cfs.load", {{"core", "0"}}, [&level] { return level; });
+  const MetricsRegistry::Instrument* p = reg.find("cfs.load{core=0}");
+  ASSERT_NE(p, nullptr);
+  std::size_t idx = reg.sorted_indices()[0];
+  EXPECT_DOUBLE_EQ(reg.value(idx), 4.0);
+  level = 9.0;
+  EXPECT_DOUBLE_EQ(reg.value(idx), 9.0);
+}
+
+TEST(MetricsRegistry, SortedIndicesAreExportOrder) {
+  MetricsRegistry reg;
+  reg.counter("b.second");
+  reg.counter("a.first");
+  reg.counter("c.third");
+  const std::vector<std::size_t> order = reg.sorted_indices();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(reg.instrument(order[0]).key, "a.first");
+  EXPECT_EQ(reg.instrument(order[1]).key, "b.second");
+  EXPECT_EQ(reg.instrument(order[2]).key, "c.third");
+}
+
+// ---------------------------------------------------------------------------
+// Sampler: deterministic cadence, ring retention, freeze semantics
+// ---------------------------------------------------------------------------
+
+TEST(MetricsSampler, TicksOnExactSimCadence) {
+  Simulator sim(1);
+  MetricsRegistry reg;
+  Counter& events = reg.counter("events");
+  PeriodicTimer work(sim, usec(100), [&events] { events.add(1); });
+  work.start();
+  SamplerOptions so;
+  so.period = msec(1);
+  MetricsSampler sampler(sim, reg, so);
+  sampler.start();
+  sim.run_for(msec(10));
+  EXPECT_EQ(sampler.instruments(), 1u);
+  EXPECT_EQ(sampler.total_samples(), 10u);
+  ASSERT_EQ(sampler.frames(), 10u);
+  for (std::size_t f = 0; f + 1 < sampler.frames(); ++f) {
+    EXPECT_EQ(sampler.frame_time(f + 1) - sampler.frame_time(f), msec(1));
+    // The counter grows by 10 work ticks per sample period.
+    EXPECT_EQ(sampler.frame_value(f + 1, 0) - sampler.frame_value(f, 0), 10.0);
+  }
+}
+
+TEST(MetricsSampler, RingEvictsOldestFrames) {
+  Simulator sim(1);
+  MetricsRegistry reg;
+  reg.counter("x");
+  SamplerOptions so;
+  so.period = msec(1);
+  so.ring_capacity = 4;
+  MetricsSampler sampler(sim, reg, so);
+  sampler.start();
+  sim.run_for(msec(10));
+  EXPECT_EQ(sampler.total_samples(), 10u);
+  ASSERT_EQ(sampler.frames(), 4u);
+  // Oldest retained frame is tick #7 of 10 (1-indexed by period).
+  EXPECT_EQ(sampler.frame_time(0), msec(7));
+  EXPECT_EQ(sampler.frame_time(3), msec(10));
+}
+
+TEST(MetricsSampler, InstrumentsRegisteredAfterStartAreNotSampled) {
+  Simulator sim(1);
+  MetricsRegistry reg;
+  reg.counter("early");
+  MetricsSampler sampler(sim, reg, {});
+  sampler.start();
+  reg.counter("late").add(5);
+  sim.run_for(msec(4));
+  EXPECT_EQ(sampler.instruments(), 1u);  // frozen at start()
+  // ... but the final snapshot still sees the late instrument.
+  const std::vector<MetricSample> snap = snapshot(reg);
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[1].name, "late");
+  EXPECT_DOUBLE_EQ(snap[1].value, 5.0);
+}
+
+/// Same seed => byte-identical Prometheus, JSON and series exports, from a
+/// full testbed run (guest timers, vhost worker, CFS all live).
+TEST(MetricsSampler, SameSeedExportsAreByteIdentical) {
+  auto run_once = [](std::uint64_t seed) {
+    TestbedOptions o;
+    o.config = Es2Config::pi();
+    o.seed = seed;
+    Testbed tb(o);
+    tb.start();
+    tb.sim().run_for(msec(30));
+    const std::vector<MetricSample> snap = snapshot(tb.metrics());
+    return std::make_tuple(to_prometheus_text(snap), to_json(snap),
+                           series_to_json(tb.metrics(), *tb.sampler()),
+                           series_to_csv(tb.metrics(), *tb.sampler()));
+  };
+  const auto a = run_once(42);
+  const auto b = run_once(42);
+  EXPECT_EQ(std::get<0>(a), std::get<0>(b));
+  EXPECT_EQ(std::get<1>(a), std::get<1>(b));
+  EXPECT_EQ(std::get<2>(a), std::get<2>(b));
+  EXPECT_EQ(std::get<3>(a), std::get<3>(b));
+  // A different seed must change the telemetry. The bare testbed is
+  // seed-invariant (no traffic), so this leg drives a seeded stream
+  // workload and compares its harvested snapshots.
+  auto stream_json = [](std::uint64_t seed) {
+    StreamOptions o;
+    o.config = Es2Config::pi();
+    o.seed = seed;
+    o.warmup = msec(10);
+    o.measure = msec(50);
+    const StreamResult r = run_stream(o);
+    return to_json(r.metrics->samples);
+  };
+  EXPECT_NE(stream_json(42), stream_json(43));
+}
+
+/// Passivity: running with the sampler on yields the same model results as
+/// running with metrics disabled.
+TEST(MetricsSampler, SamplingIsPassive) {
+  StreamOptions o;
+  o.config = Es2Config::pi();
+  o.warmup = msec(50);
+  o.measure = msec(150);
+  o.metrics.enabled = true;
+  const StreamResult on = run_stream(o);
+  o.metrics.enabled = false;
+  const StreamResult off = run_stream(o);
+  EXPECT_DOUBLE_EQ(on.throughput_mbps, off.throughput_mbps);
+  EXPECT_DOUBLE_EQ(on.packets_per_sec, off.packets_per_sec);
+  EXPECT_DOUBLE_EQ(on.exits.total, off.exits.total);
+  EXPECT_EQ(on.rx_dropped, off.rx_dropped);
+  // The metrics-off run still harvests a final snapshot (registry is
+  // always populated); only the time series differs.
+  ASSERT_NE(off.metrics, nullptr);
+  EXPECT_EQ(off.metrics->sampler_frames, 0u);
+  EXPECT_GT(on.metrics->sampler_frames, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Zero steady-state allocation
+// ---------------------------------------------------------------------------
+
+TEST(MetricsSampler, SteadyStateSamplingAllocatesNothing) {
+  Simulator sim(1);
+  MetricsRegistry reg;
+  Counter& events = reg.counter("events", {{"kind", "work"}});
+  std::uint64_t side = 0;
+  reg.probe("side", [&side] { return static_cast<double>(side); });
+  register_alloc_metrics(reg);
+  PeriodicTimer work(sim, usec(50), [&] {
+    events.add(1);
+    ++side;
+  });
+  work.start();
+  SamplerOptions so;
+  so.period = usec(500);
+  so.ring_capacity = 64;
+  MetricsSampler sampler(sim, reg, so);
+  sampler.start();
+  // Settle: first ticks may fault in pooled event slabs.
+  sim.run_for(msec(50));
+  test::AllocationCounter c;
+  sim.run_for(msec(100));  // 200 samples, ring wraps repeatedly
+  EXPECT_EQ(c.delta(), 0) << "sampler steady state must not allocate";
+  EXPECT_GE(sampler.total_samples(), 200u);
+}
+
+TEST(AllocMetrics, RegistersProcessCounters) {
+  MetricsRegistry reg;
+  register_alloc_metrics(reg);
+  const MetricsRegistry::Instrument* allocs = reg.find("process.allocs");
+  ASSERT_NE(allocs, nullptr);
+  EXPECT_EQ(allocs->kind, MetricKind::kProbe);
+  const std::vector<MetricSample> before = snapshot(reg);
+  // Force an allocation and require the probe to see it.
+  std::vector<int>* sink = new std::vector<int>(100);
+  const std::vector<MetricSample> after = snapshot(reg);
+  delete sink;
+  EXPECT_GT(after[1].value, before[1].value);       // process.allocs
+  EXPECT_GT(after[0].value, before[0].value);       // process.alloc_bytes
+  EXPECT_EQ(after[0].name, "process.alloc_bytes");  // sorted order
+}
+
+// ---------------------------------------------------------------------------
+// Histogram edge cases
+// ---------------------------------------------------------------------------
+
+TEST(HistogramEdge, EmptyQuantileIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.quantile(0.5), 0);
+  EXPECT_EQ(h.p99(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(HistogramEdge, SingleValue) {
+  Histogram h;
+  h.record(1000);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.min(), 1000);
+  EXPECT_EQ(h.max(), 1000);
+  // Log-bucketed: quantiles land in the recorded value's bucket (~3%).
+  EXPECT_NEAR(static_cast<double>(h.p50()), 1000.0, 1000.0 * 0.05);
+  EXPECT_NEAR(static_cast<double>(h.p99()), 1000.0, 1000.0 * 0.05);
+}
+
+TEST(HistogramEdge, MergeDisjointRanges) {
+  Histogram low, high;
+  for (int i = 0; i < 100; ++i) low.record(10);
+  for (int i = 0; i < 100; ++i) high.record(1000000);
+  low.merge(high);
+  EXPECT_EQ(low.count(), 200);
+  EXPECT_EQ(low.min(), 10);
+  EXPECT_EQ(low.max(), 1000000);
+  // Median sits at the low cluster, p99 at the high one.
+  EXPECT_LE(low.p50(), 11);
+  EXPECT_NEAR(static_cast<double>(low.p99()), 1e6, 1e6 * 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters: Prometheus <-> JSON round trip
+// ---------------------------------------------------------------------------
+
+TEST(MetricsExport, PrometheusIsPureFunctionOfJson) {
+  TestbedOptions o;
+  o.config = Es2Config::pi_h(4);
+  o.seed = 11;
+  Testbed tb(o);
+  tb.start();
+  tb.sim().run_for(msec(20));
+  const std::vector<MetricSample> snap = snapshot(tb.metrics());
+  ASSERT_FALSE(snap.empty());
+
+  const std::string json = to_json(snap);
+  std::vector<MetricSample> reread;
+  std::string error;
+  ASSERT_TRUE(from_json(json, &reread, &error)) << error;
+  ASSERT_EQ(reread.size(), snap.size());
+  // Prometheus rendering of the round-tripped samples is byte-identical:
+  // the exporters are pure functions of the sample list.
+  EXPECT_EQ(to_prometheus_text(reread), to_prometheus_text(snap));
+  // And a second JSON round trip is a fixed point.
+  EXPECT_EQ(to_json(reread), json);
+}
+
+TEST(MetricsExport, TopDeltasNamesMovingMetrics) {
+  Simulator sim(1);
+  MetricsRegistry reg;
+  Counter& busy = reg.counter("busy.counter");
+  reg.counter("idle.counter");
+  PeriodicTimer work(sim, usec(100), [&busy] { busy.add(7); });
+  work.start();
+  MetricsSampler sampler(sim, reg, {});
+  sampler.start();
+  sim.run_for(msec(20));
+  const std::string top = top_metric_deltas(reg, sampler, 2);
+  EXPECT_NE(top.find("busy.counter"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Bench schema: gate logic
+// ---------------------------------------------------------------------------
+
+BenchReport sample_report() {
+  BenchReport r("demo", true, 1);
+  r.add("throughput", 100.0, 0.05);
+  r.add("exits", 5000.0, 0.05);
+  r.add_info("wall_seconds", 3.2);
+  r.add_series("curve", {1, 2, 3, 4});
+  return r;
+}
+
+TEST(BenchSchema, WithinToleranceOk) {
+  BenchReport current = sample_report();
+  current.add("throughput", 104.0, 0.05);  // +4% < 5%
+  const BenchDiff d = diff_bench(sample_report(), current);
+  EXPECT_TRUE(d.comparable);
+  EXPECT_TRUE(d.ok()) << d.failures().empty();
+}
+
+TEST(BenchSchema, BeyondToleranceFailsAndNamesMetric) {
+  BenchReport current = sample_report();
+  current.add("throughput", 89.0, 0.05);  // -11% > 5%
+  const BenchDiff d = diff_bench(sample_report(), current);
+  EXPECT_FALSE(d.ok());
+  const std::vector<std::string> failures = d.failures();
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_NE(failures[0].find("throughput"), std::string::npos);
+}
+
+TEST(BenchSchema, InfoMetricsNeverGate) {
+  BenchReport current = sample_report();
+  current.add_info("wall_seconds", 96.0);  // 30x slower: reported, not failed
+  EXPECT_TRUE(diff_bench(sample_report(), current).ok());
+}
+
+TEST(BenchSchema, MissingGatedMetricFails) {
+  BenchReport current("demo", true, 1);
+  current.add("throughput", 100.0, 0.05);
+  // "exits" absent from the run.
+  const BenchDiff d = diff_bench(sample_report(), current);
+  EXPECT_FALSE(d.ok());
+  ASSERT_EQ(d.missing.size(), 1u);
+  EXPECT_EQ(d.missing[0], "exits");
+}
+
+TEST(BenchSchema, StampMismatchIsIncomparableFailure) {
+  BenchReport current("demo", false, 1);  // fast=false vs baseline fast=true
+  current.add("throughput", 100.0);
+  current.add("exits", 5000.0);
+  const BenchDiff d = diff_bench(sample_report(), current);
+  EXPECT_FALSE(d.comparable);
+  EXPECT_FALSE(d.ok());
+  EXPECT_NE(d.incomparable_why.find("stamp"), std::string::npos);
+}
+
+TEST(BenchSchema, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/BENCH_demo.json";
+  ASSERT_TRUE(sample_report().write_file(path));
+  BenchReport reread;
+  std::string error;
+  ASSERT_TRUE(BenchReport::read_file(path, &reread, &error)) << error;
+  EXPECT_EQ(reread.bench(), "demo");
+  EXPECT_TRUE(reread.fast());
+  EXPECT_EQ(reread.seed(), 1u);
+  const BenchMetric* m = reread.find("throughput");
+  ASSERT_NE(m, nullptr);
+  EXPECT_DOUBLE_EQ(m->value, 100.0);
+  const std::vector<double>* s = reread.find_series("curve");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->size(), 4u);
+  // A reread report diffs clean against the original.
+  EXPECT_TRUE(diff_bench(sample_report(), reread).ok());
+}
+
+TEST(BenchSchema, SparklineRendersAndHandlesEdges) {
+  EXPECT_EQ(sparkline({}), "");
+  EXPECT_FALSE(sparkline({1, 2, 3, 4, 5}).empty());
+  EXPECT_FALSE(sparkline({5, 5, 5}).empty());  // flat series
+}
+
+}  // namespace
+}  // namespace es2
