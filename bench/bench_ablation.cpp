@@ -68,7 +68,10 @@ int main(int argc, char** argv) {
       o.warmup = args.fast ? msec(100) : msec(250);
       o.measure = args.fast ? msec(250) : msec(800);
       // --trace: capture the paper's chosen quota (8).
-      if (quotas[q] == 8) o.trace = trace_request(args);
+      if (quotas[q] == 8) {
+        o.trace = trace_request(args);
+        o.snapshot = hash_request(args);
+      }
       quota_results[q] = run_stream(o);
     });
   }
@@ -114,5 +117,6 @@ int main(int argc, char** argv) {
 
   const StreamResult& traced = quota_results[2];  // quota 8
   if (!export_trace(args, traced.trace.get(), traced.stages)) return 1;
+  if (!export_hash_log(args, traced.hashes.get())) return 1;
   return 0;
 }

@@ -16,6 +16,8 @@
 #include "base/table.h"
 #include "harness/experiments.h"
 #include "harness/parallel.h"
+#include "harness/runner.h"
+#include "snapshot/state_hash.h"
 #include "metrics/bench_schema.h"
 #include "trace/export.h"
 #include "trace/hooks.h"
@@ -32,6 +34,19 @@ struct BenchArgs {
   /// --trace-smoke: after exporting, re-read the file, validate the JSON
   /// and assert the stage latencies are populated; exit nonzero otherwise.
   bool trace_smoke = false;
+  /// --hash-epochs=<path>: run one representative cell with epoch
+  /// state-hashing on and export its es2-hash-v1 series to <path>
+  /// (divergence-bisector input).
+  std::string hash_path;
+  /// --ckpt=<dir>: checkpoint each completed sweep cell into <dir>.
+  /// --resume=<dir> additionally replays cells that already finished OK.
+  std::string ckpt_dir;
+  bool resume = false;
+  /// --retries=N: bounded per-cell retries before a WATCHDOG row stands.
+  int retries = 1;
+  /// --die-after=N: crash-safety test hook — _Exit after N cells
+  /// checkpoint (requires --ckpt).
+  int die_after = 0;
 };
 
 inline BenchArgs parse_args(int argc, char** argv) {
@@ -44,8 +59,32 @@ inline BenchArgs parse_args(int argc, char** argv) {
     }
     if (std::strncmp(argv[i], "--out=", 6) == 0) args.out_dir = argv[i] + 6;
     if (std::strncmp(argv[i], "--trace=", 8) == 0) args.trace_path = argv[i] + 8;
+    if (std::strncmp(argv[i], "--hash-epochs=", 14) == 0) {
+      args.hash_path = argv[i] + 14;
+    }
+    if (std::strncmp(argv[i], "--ckpt=", 7) == 0) args.ckpt_dir = argv[i] + 7;
+    if (std::strncmp(argv[i], "--resume=", 9) == 0) {
+      args.ckpt_dir = argv[i] + 9;
+      args.resume = true;
+    }
+    if (std::strncmp(argv[i], "--retries=", 10) == 0) {
+      args.retries = static_cast<int>(std::strtol(argv[i] + 10, nullptr, 10));
+    }
+    if (std::strncmp(argv[i], "--die-after=", 12) == 0) {
+      args.die_after = static_cast<int>(std::strtol(argv[i] + 12, nullptr, 10));
+    }
   }
   return args;
+}
+
+/// Runner options carrying this bench's checkpoint/resume/retry flags.
+inline RunnerOptions runner_options(const BenchArgs& args) {
+  RunnerOptions o;
+  o.checkpoint_dir = args.ckpt_dir;
+  o.resume = args.resume;
+  o.max_attempts = args.retries < 1 ? 1 : args.retries;
+  o.die_after_cells = args.die_after;
+  return o;
 }
 
 /// Trace request for the one bench cell elected to run traced (no-op
@@ -104,6 +143,47 @@ inline bool export_trace(const BenchArgs& args, const TraceData* trace,
   }
   std::printf("[trace smoke ok]\n");
   return true;
+}
+
+/// Epoch-hash request for the one bench cell elected to run hashed (no-op
+/// SnapshotOptions when --hash-epochs was not given).
+inline SnapshotOptions hash_request(const BenchArgs& args) {
+  SnapshotOptions s;
+  s.hash_epochs = !args.hash_path.empty();
+  return s;
+}
+
+/// Exports the hashed cell's es2-hash-v1 series to --hash-epochs=<path>.
+/// Returns false only when the export was requested and failed.
+inline bool export_hash_log(const BenchArgs& args, const HashSeries* series) {
+  if (args.hash_path.empty()) return true;
+  if (series == nullptr || series->entries.empty()) {
+    std::printf("[--hash-epochs requested but no epochs recorded]\n");
+    return false;
+  }
+  if (!write_file(args.hash_path, series->to_json_text())) {
+    std::printf("[hash export to %s failed]\n", args.hash_path.c_str());
+    return false;
+  }
+  std::printf("[epoch hashes: %zu epochs x %zu components -> %s]\n",
+              series->entries.size(), series->component_names.size(),
+              args.hash_path.c_str());
+  return true;
+}
+
+/// --hash-epochs for benches without a natural testbed cell (micro,
+/// eventcore, related_work): runs one short canonical stream with hashing
+/// on and exports its series. No-op when the flag was not given.
+inline bool export_standalone_hash_log(const BenchArgs& args) {
+  if (args.hash_path.empty()) return true;
+  StreamOptions o;
+  o.config = Es2Config::pi_h_r();
+  o.seed = args.seed;
+  o.warmup = msec(100);
+  o.measure = msec(400);
+  o.snapshot = hash_request(args);
+  const StreamResult r = run_stream(o);
+  return export_hash_log(args, r.hashes.get());
 }
 
 inline void print_header(const char* id, const char* title) {

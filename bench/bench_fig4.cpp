@@ -45,7 +45,10 @@ int main(int argc, char** argv) {
         o.warmup = args.fast ? msec(100) : msec(250);
         o.measure = args.fast ? msec(250) : msec(800);
         // --trace: capture TCP 1024B at the paper-selected quota 4.
-        if (c == 2 && quotas[q] == 4) o.trace = trace_request(args);
+        if (c == 2 && quotas[q] == 4) {
+          o.trace = trace_request(args);
+          o.snapshot = hash_request(args);
+        }
         results[c * quotas.size() + q] = run_stream(o);
       });
     }
@@ -96,5 +99,6 @@ int main(int argc, char** argv) {
 
   const StreamResult& traced = results[2 * quotas.size() + 5];  // TCP, quota 4
   if (!export_trace(args, traced.trace.get(), traced.stages)) return 1;
+  if (!export_hash_log(args, traced.hashes.get())) return 1;
   return 0;
 }

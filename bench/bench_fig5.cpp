@@ -52,7 +52,10 @@ int main(int argc, char** argv) {
         o.measure = args.fast ? msec(250) : msec(800);
         // --trace: capture the recv-TCP / PI cell, the paper's canonical
         // exit-less delivery path.
-        if (c * 3 + s == 7) o.trace = trace_request(args);
+        if (c * 3 + s == 7) {
+          o.trace = trace_request(args);
+          o.snapshot = hash_request(args);
+        }
         results[c * 3 + s] = run_stream(o);
       });
     }
@@ -96,5 +99,6 @@ int main(int argc, char** argv) {
 
   const StreamResult& traced = results[7];
   if (!export_trace(args, traced.trace.get(), traced.stages)) return 1;
+  if (!export_hash_log(args, traced.hashes.get())) return 1;
   return 0;
 }

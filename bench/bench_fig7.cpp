@@ -31,7 +31,10 @@ int main(int argc, char** argv) {
     o.interval = interval;
     o.seed = args.seed;
     // --trace: capture the full-ES2 config, the one the paper plots flat.
-    if (i == 2) o.trace = trace_request(args);
+    if (i == 2) {
+      o.trace = trace_request(args);
+      o.snapshot = hash_request(args);
+    }
     results[i] = run_ping(o);
   });
 
@@ -71,5 +74,6 @@ int main(int argc, char** argv) {
   write_bench_report(args, report);
 
   if (!export_trace(args, results[2].trace.get(), results[2].stages)) return 1;
+  if (!export_hash_log(args, results[2].hashes.get())) return 1;
   return 0;
 }

@@ -25,7 +25,10 @@ int main(int argc, char** argv) {
       o.warmup = args.fast ? msec(200) : msec(400);
       o.measure = args.fast ? msec(400) : sec(1);
       // --trace: capture the full-ES2 memcached cell.
-      if (c == 3) o.trace = trace_request(args);
+      if (c == 3) {
+        o.trace = trace_request(args);
+        o.snapshot = hash_request(args);
+      }
       mem[c] = run_memcached(o);
     });
     tasks.push_back([&, c] {
@@ -84,5 +87,6 @@ int main(int argc, char** argv) {
   write_bench_report(args, report);
 
   if (!export_trace(args, mem[3].trace.get(), mem[3].stages)) return 1;
+  if (!export_hash_log(args, mem[3].hashes.get())) return 1;
   return 0;
 }

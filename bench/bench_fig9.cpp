@@ -34,7 +34,10 @@ int main(int argc, char** argv) {
         o.duration = args.fast ? sec(1) : sec(2);
         o.seed = args.seed;
         // --trace: capture full ES2 at the lowest (healthy) request rate.
-        if (r == 0 && c == 3) o.trace = trace_request(args);
+        if (r == 0 && c == 3) {
+          o.trace = trace_request(args);
+          o.snapshot = hash_request(args);
+        }
         results[r * 4 + c] = run_httperf(o);
       });
     }
@@ -83,5 +86,6 @@ int main(int argc, char** argv) {
   write_bench_report(args, report);
 
   if (!export_trace(args, results[3].trace.get(), results[3].stages)) return 1;
+  if (!export_hash_log(args, results[3].hashes.get())) return 1;
   return 0;
 }

@@ -195,5 +195,6 @@ int main(int argc, char** argv) {
     report.add_info(key + ".ns_per_iter", ns);
   }
   es2::bench::write_bench_report(args, report);
+  if (!es2::bench::export_standalone_hash_log(args)) return 1;
   return 0;
 }

@@ -31,7 +31,10 @@ int main(int argc, char** argv) {
     o.config = i == 0 ? Es2Config::baseline() : Es2Config::pi();
     // --trace: capture the Baseline cell — the exit-heavy path the table
     // dissects.
-    if (i == 0) o.trace = trace_request(args);
+    if (i == 0) {
+      o.trace = trace_request(args);
+      o.snapshot = hash_request(args);
+    }
     results[i] = run_stream(o);
   });
 
@@ -90,5 +93,6 @@ int main(int argc, char** argv) {
   write_bench_report(args, report);
 
   if (!export_trace(args, base.trace.get(), base.stages)) return 1;
+  if (!export_hash_log(args, base.hashes.get())) return 1;
   return 0;
 }

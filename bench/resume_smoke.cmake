@@ -1,0 +1,60 @@
+# Crash/resume smoke for the self-healing sweep runner.
+#
+# Invoked by ctest as:
+#   cmake -DBENCH_CHAOS=<bench_chaos exe> -DWORK_DIR=<scratch dir>
+#         -P resume_smoke.cmake
+#
+# Three runs of the same --fast chaos sweep:
+#   1. uninterrupted reference;
+#   2. checkpointing run killed (exit 17) after two cells are durable;
+#   3. --resume run that replays the finished cells and re-runs the rest.
+# The resumed run must announce the replay and produce a byte-identical
+# chaos.csv to the reference — resumption may not change the science.
+
+if(NOT DEFINED BENCH_CHAOS OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "resume_smoke: BENCH_CHAOS and WORK_DIR are required")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# 1. Reference run, no checkpointing.
+execute_process(
+  COMMAND "${BENCH_CHAOS}" --fast --out=${WORK_DIR}/ref
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "resume_smoke: reference run failed (${rc}):\n${out}")
+endif()
+
+# 2. Checkpointing run that self-destructs after two durable cells.
+execute_process(
+  COMMAND "${BENCH_CHAOS}" --fast --ckpt=${WORK_DIR}/ckpt --die-after=2
+          --out=${WORK_DIR}/crashed
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(NOT rc EQUAL 17)
+  message(FATAL_ERROR
+    "resume_smoke: expected die-after exit 17, got ${rc}:\n${out}")
+endif()
+
+# 3. Resume: replay the checkpointed cells, run the remainder.
+execute_process(
+  COMMAND "${BENCH_CHAOS}" --fast --resume=${WORK_DIR}/ckpt
+          --out=${WORK_DIR}/resumed
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "resume_smoke: resumed run failed (${rc}):\n${out}${err}")
+endif()
+string(FIND "${out}" "cells resumed from checkpoint" announce)
+if(announce EQUAL -1)
+  message(FATAL_ERROR
+    "resume_smoke: resumed run did not report replayed cells:\n${out}")
+endif()
+
+file(READ "${WORK_DIR}/ref/chaos.csv" ref_csv)
+file(READ "${WORK_DIR}/resumed/chaos.csv" resumed_csv)
+if(NOT ref_csv STREQUAL resumed_csv)
+  message(FATAL_ERROR
+    "resume_smoke: resumed chaos.csv differs from the uninterrupted run")
+endif()
+
+message(STATUS "resume_smoke ok: resumed sweep is byte-identical")

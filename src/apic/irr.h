@@ -56,6 +56,9 @@ class IrqBitmap {
 
   void reset() { words_[0] = words_[1] = words_[2] = words_[3] = 0; }
 
+  /// Raw 64-bit word `i` (0..3) of the bitmap, for state serialization.
+  std::uint64_t word(int i) const { return words_[i]; }
+
  private:
   std::uint64_t words_[4] = {0, 0, 0, 0};
 };

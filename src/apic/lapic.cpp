@@ -1,5 +1,7 @@
 #include "apic/lapic.h"
 
+#include "snapshot/snapshot.h"
+
 namespace es2 {
 
 namespace {
@@ -32,6 +34,13 @@ bool EmulatedLapic::eoi() {
 void EmulatedLapic::reset() {
   irr_.reset();
   isr_.reset();
+}
+
+void EmulatedLapic::snapshot_state(SnapshotWriter& w) const {
+  for (int i = 0; i < 4; ++i) w.put_u64(irr_.word(i));
+  for (int i = 0; i < 4; ++i) w.put_u64(isr_.word(i));
+  w.put_i64(posts_);
+  w.put_i64(eois_);
 }
 
 }  // namespace es2

@@ -15,6 +15,8 @@
 
 namespace es2 {
 
+class SnapshotWriter;
+
 class EmulatedLapic {
  public:
   /// Records a pending interrupt (hypervisor-side IRR write).
@@ -48,6 +50,9 @@ class EmulatedLapic {
   std::int64_t eois() const { return eois_; }
 
   void reset();
+
+  /// Serializes IRR/ISR words plus lifetime counters (es2-snap-v1 fields).
+  void snapshot_state(SnapshotWriter& w) const;
 
  private:
   IrqBitmap irr_;

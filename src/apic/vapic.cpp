@@ -1,5 +1,7 @@
 #include "apic/vapic.h"
 
+#include "snapshot/snapshot.h"
+
 namespace es2 {
 
 namespace {
@@ -34,6 +36,20 @@ void VApicPage::reset() {
   pi_.reset();
   virr_.reset();
   visr_.reset();
+}
+
+void PiDescriptor::snapshot_state(SnapshotWriter& w) const {
+  for (int i = 0; i < 4; ++i) w.put_u64(pir_.word(i));
+  w.put_bool(outstanding_notification_);
+  w.put_i64(posts_);
+  w.put_i64(notifications_);
+}
+
+void VApicPage::snapshot_state(SnapshotWriter& w) const {
+  pi_.snapshot_state(w);
+  for (int i = 0; i < 4; ++i) w.put_u64(virr_.word(i));
+  for (int i = 0; i < 4; ++i) w.put_u64(visr_.word(i));
+  w.put_i64(eois_);
 }
 
 }  // namespace es2

@@ -18,6 +18,8 @@
 
 namespace es2 {
 
+class SnapshotWriter;
+
 class PiDescriptor {
  public:
   /// Posts an interrupt (paper Fig. 2 step 1): sets PIR[vector] and tests
@@ -54,6 +56,9 @@ class PiDescriptor {
     outstanding_notification_ = false;
   }
 
+  /// Serializes PIR words, the ON bit and lifetime counters.
+  void snapshot_state(SnapshotWriter& w) const;
+
  private:
   IrqBitmap pir_;
   bool outstanding_notification_ = false;
@@ -89,6 +94,9 @@ class VApicPage {
   std::int64_t eois() const { return eois_; }
 
   void reset();
+
+  /// Serializes the PI descriptor plus vIRR/vISR words and EOI count.
+  void snapshot_state(SnapshotWriter& w) const;
 
  private:
   PiDescriptor pi_;

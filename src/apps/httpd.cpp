@@ -326,4 +326,47 @@ void HttperfClient::on_packet(const PacketPtr& packet) {
   ++established_;
 }
 
+void ApacheServer::snapshot_state(SnapshotWriter& w) const {
+  w.put_u64(listen_flow_);
+  w.put_i64(served_);
+  w.put_i64(accepts_);
+  w.put_i64(syn_drops_);
+  w.put_u32(static_cast<std::uint32_t>(workers_.size()));
+}
+
+void AbClient::snapshot_state(SnapshotWriter& w) const {
+  w.put_u64(base_flow_);
+  w.put_bool(running_);
+  w.put_i64(completed_);
+  w.put_i64(resp_bytes_);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(rx_progress_.size());
+  for (const auto& [k, v] : rx_progress_) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  w.put_u32(static_cast<std::uint32_t>(keys.size()));
+  for (std::uint64_t k : keys) {
+    w.put_u64(k);
+    w.put_i64(rx_progress_.at(k));
+  }
+}
+
+void HttperfClient::snapshot_state(SnapshotWriter& w) const {
+  w.put_u64(listen_flow_);
+  w.put_bool(running_);
+  w.put_u64(next_conn_);
+  w.put_i64(attempted_);
+  w.put_i64(established_);
+  w.put_i64(retries_);
+  w.put_i64(connect_time_.count());
+  std::vector<std::uint64_t> keys;
+  keys.reserve(pending_.size());
+  for (const auto& [k, v] : pending_) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  w.put_u32(static_cast<std::uint32_t>(keys.size()));
+  for (std::uint64_t k : keys) {
+    w.put_u64(k);
+    w.put_i64(pending_.at(k));
+  }
+}
+
 }  // namespace es2

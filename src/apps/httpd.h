@@ -34,7 +34,7 @@ struct ApacheCosts {
   bool serve_page_per_connection = true;
 };
 
-class ApacheServer {
+class ApacheServer : public Snapshottable {
  public:
   ApacheServer(GuestOs& os, VirtioNetFrontend& dev, std::uint64_t base_flow,
                int client_conns, int workers, ApacheCosts costs = {});
@@ -48,6 +48,8 @@ class ApacheServer {
   std::int64_t requests_served() const { return served_; }
   std::int64_t accepts() const { return accepts_; }
   std::int64_t syn_drops() const { return syn_drops_; }
+
+  void snapshot_state(SnapshotWriter& w) const override;
 
  private:
   class Worker;
@@ -70,7 +72,7 @@ class ApacheServer {
 
 /// ApacheBench: `concurrency` persistent connections, each repeatedly
 /// requesting one page and waiting for the full response.
-class AbClient {
+class AbClient : public Snapshottable {
  public:
   AbClient(PeerHost& peer, std::uint64_t base_flow, int concurrency,
            ApacheCosts costs = {});
@@ -82,6 +84,8 @@ class AbClient {
   void begin_window(SimTime now);
   double requests_per_sec(SimTime now) const;
   double response_mbps(SimTime now) const;
+
+  void snapshot_state(SnapshotWriter& w) const override;
 
  private:
   void send_request(std::uint64_t flow);
@@ -102,7 +106,7 @@ class AbClient {
 
 /// Httperf: opens connections at `rate` conn/s; measures the TCP connect
 /// time (SYN to SYN/ACK), retransmitting dropped SYNs after 1 second.
-class HttperfClient {
+class HttperfClient : public Snapshottable {
  public:
   HttperfClient(PeerHost& peer, std::uint64_t listen_flow,
                 double rate_per_sec, SimDuration syn_rto = kSecond);
@@ -114,6 +118,8 @@ class HttperfClient {
   std::int64_t attempted() const { return attempted_; }
   std::int64_t established() const { return established_; }
   std::int64_t retries() const { return retries_; }
+
+  void snapshot_state(SnapshotWriter& w) const override;
 
  private:
   void open_connection();

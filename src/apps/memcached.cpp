@@ -176,4 +176,30 @@ double MemaslapClient::response_mbps(SimTime now) const {
   return mbps(resp_bytes_ - resp_bytes_base_, now - window_start_);
 }
 
+void MemcachedServer::snapshot_state(SnapshotWriter& w) const {
+  w.put_i64(responses_);
+  w.put_i64(response_bytes_);
+  w.put_u32(static_cast<std::uint32_t>(max_queue_depth_));
+  w.put_u32(static_cast<std::uint32_t>(workers_.size()));
+}
+
+void MemaslapClient::snapshot_state(SnapshotWriter& w) const {
+  snapshot_rng(w, rng_);
+  w.put_u64(base_flow_);
+  w.put_bool(running_);
+  w.put_u64(next_req_);
+  w.put_i64(ops_);
+  w.put_i64(resp_bytes_);
+  w.put_i64(latency_.count());
+  std::vector<std::uint64_t> keys;
+  keys.reserve(outstanding_.size());
+  for (const auto& [k, v] : outstanding_) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  w.put_u32(static_cast<std::uint32_t>(keys.size()));
+  for (std::uint64_t k : keys) {
+    w.put_u64(k);
+    w.put_i64(outstanding_.at(k));
+  }
+}
+
 }  // namespace es2

@@ -28,7 +28,7 @@ struct MemcachedCosts {
   Bytes set_response = 8;
 };
 
-class MemcachedServer {
+class MemcachedServer : public Snapshottable {
  public:
   /// Spawns `workers` guest tasks, one per vCPU round-robin. Flows
   /// [base_flow, base_flow + client_threads) route to workers by flow id.
@@ -42,6 +42,8 @@ class MemcachedServer {
   std::int64_t responses() const { return responses_; }
   Bytes response_bytes() const { return response_bytes_; }
   int max_queue_depth() const { return max_queue_depth_; }
+
+  void snapshot_state(SnapshotWriter& w) const override;
 
  private:
   class Worker;
@@ -57,7 +59,7 @@ class MemcachedServer {
   int max_queue_depth_ = 0;
 };
 
-class MemaslapClient {
+class MemaslapClient : public Snapshottable {
  public:
   struct Params {
     int threads = 16;
@@ -77,6 +79,10 @@ class MemaslapClient {
   double ops_per_sec(SimTime now) const;
   double response_mbps(SimTime now) const;
   const Histogram& latency() const { return latency_; }
+
+  /// Serializes the load-generator RNG, op counters and the outstanding
+  /// request set (sorted ids).
+  void snapshot_state(SnapshotWriter& w) const override;
 
  private:
   void send_request(std::uint64_t flow);

@@ -369,4 +369,53 @@ void PeerStreamSender::register_metrics(MetricsRegistry& registry) {
   });
 }
 
+void NetperfSender::snapshot_state(SnapshotWriter& w) const {
+  w.put_u64(flow_);
+  w.put_u8(static_cast<std::uint8_t>(proto_));
+  w.put_i64(msg_size_);
+  w.put_u64(next_seq_);
+  w.put_u64(acked_);
+  w.put_u32(static_cast<std::uint32_t>(segments_left_));
+  w.put_bool(cost_charged_);
+  w.put_i64(bytes_sent_);
+  w.put_i64(packets_sent_);
+  w.put_i64(messages_sent_);
+  w.put_bool(runnable());
+}
+
+void NetperfReceiver::snapshot_state(SnapshotWriter& w) const {
+  w.put_u64(flow_);
+  w.put_u8(static_cast<std::uint8_t>(proto_));
+  w.put_u64(expected_seq_);
+  w.put_u32(static_cast<std::uint32_t>(segs_since_ack_));
+  w.put_i64(dup_count_);
+  w.put_i64(bytes_received_);
+  w.put_i64(packets_received_);
+}
+
+void PeerStreamReceiver::snapshot_state(SnapshotWriter& w) const {
+  w.put_u64(flow_);
+  w.put_u8(static_cast<std::uint8_t>(proto_));
+  w.put_u64(cum_seq_);
+  w.put_u32(static_cast<std::uint32_t>(segs_since_ack_));
+  w.put_i64(bytes_received_);
+  w.put_i64(packets_received_);
+  w.put_i64(window_base_);
+  w.put_i64(window_start_);
+}
+
+void PeerStreamSender::snapshot_state(SnapshotWriter& w) const {
+  w.put_u64(flow_);
+  w.put_bool(running_);
+  w.put_u64(next_seq_);
+  w.put_u64(acked_);
+  w.put_u64(acked_at_last_rto_check_);
+  w.put_u32(static_cast<std::uint32_t>(rto_backoff_));
+  w.put_u32(static_cast<std::uint32_t>(dup_acks_));
+  w.put_u64(recover_);
+  w.put_i64(packets_sent_);
+  w.put_i64(retransmits_);
+  w.put_i64(fast_retransmits_);
+}
+
 }  // namespace es2

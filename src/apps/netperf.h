@@ -21,7 +21,9 @@ namespace es2 {
 class MetricsRegistry;
 
 /// Guest task sending a TCP/UDP stream of `msg_size`-byte messages.
-class NetperfSender final : public GuestTask, public FlowSink {
+class NetperfSender final : public GuestTask,
+                            public FlowSink,
+                            public Snapshottable {
  public:
   NetperfSender(GuestOs& os, VirtioNetFrontend& dev, std::uint64_t flow,
                 Proto proto, Bytes msg_size, int vcpu_affinity);
@@ -39,6 +41,9 @@ class NetperfSender final : public GuestTask, public FlowSink {
 
   /// Registers sender throughput probes (labels vm=<name>, flow=<id>).
   void register_metrics(MetricsRegistry& registry);
+
+  /// Serializes TCP sequence/window state and send counters.
+  void snapshot_state(SnapshotWriter& w) const override;
 
  private:
   bool window_open() const;
@@ -61,7 +66,7 @@ class NetperfSender final : public GuestTask, public FlowSink {
 };
 
 /// Guest flow sink for peer->VM streams; emits delayed ACKs for TCP.
-class NetperfReceiver final : public FlowSink {
+class NetperfReceiver final : public FlowSink, public Snapshottable {
  public:
   NetperfReceiver(GuestOs& os, VirtioNetFrontend& dev, std::uint64_t flow,
                   Proto proto);
@@ -74,6 +79,9 @@ class NetperfReceiver final : public FlowSink {
 
   /// Registers sink probes (labels vm=<name>, flow=<id>).
   void register_metrics(MetricsRegistry& registry);
+
+  /// Serializes receive-side TCP state and counters.
+  void snapshot_state(SnapshotWriter& w) const override;
 
  private:
   GuestOs& os_;
@@ -88,7 +96,7 @@ class NetperfReceiver final : public FlowSink {
 };
 
 /// Peer endpoint for VM->peer streams: counts bytes, ACKs TCP.
-class PeerStreamReceiver {
+class PeerStreamReceiver : public Snapshottable {
  public:
   PeerStreamReceiver(PeerHost& peer, std::uint64_t flow, Proto proto,
                      int ack_every = 2);
@@ -101,6 +109,9 @@ class PeerStreamReceiver {
 
   /// Registers peer-side sink probes (label flow=<id>).
   void register_metrics(MetricsRegistry& registry);
+
+  /// Serializes cumulative-ACK state and window bases.
+  void snapshot_state(SnapshotWriter& w) const override;
 
  private:
   void on_packet(const PacketPtr& packet);
@@ -118,7 +129,7 @@ class PeerStreamReceiver {
 };
 
 /// Peer endpoint for peer->VM streams.
-class PeerStreamSender {
+class PeerStreamSender : public Snapshottable {
  public:
   struct Params {
     Proto proto = Proto::kTcp;
@@ -157,6 +168,10 @@ class PeerStreamSender {
   /// Registers peer-side source probes, including the TCP recovery
   /// signature — tcp.retransmits / tcp.fast_retransmits (label flow=<id>).
   void register_metrics(MetricsRegistry& registry);
+
+  /// Serializes the full go-back-N sender state: sequence numbers, RTO
+  /// backoff, duplicate-ACK tracking and retransmit counters.
+  void snapshot_state(SnapshotWriter& w) const override;
 
  private:
   void pump_tcp();

@@ -1,5 +1,8 @@
 #include "apps/ping.h"
 
+#include <algorithm>
+#include <vector>
+
 namespace es2 {
 
 PingResponder::PingResponder(GuestOs& os, VirtioNetFrontend& dev,
@@ -61,6 +64,29 @@ void PingClient::on_reply(const PacketPtr& packet) {
   ++received_;
   rtt_.record(rtt);
   samples_.push_back(rtt);
+}
+
+void PingResponder::snapshot_state(SnapshotWriter& w) const {
+  w.put_u64(flow_);
+  w.put_i64(echoed_);
+}
+
+void PingClient::snapshot_state(SnapshotWriter& w) const {
+  w.put_u64(flow_);
+  w.put_bool(running_);
+  w.put_u64(next_probe_);
+  w.put_i64(sent_);
+  w.put_i64(received_);
+  w.put_i64(rtt_.count());
+  std::vector<std::uint64_t> keys;
+  keys.reserve(outstanding_.size());
+  for (const auto& [k, v] : outstanding_) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  w.put_u32(static_cast<std::uint32_t>(keys.size()));
+  for (std::uint64_t k : keys) {
+    w.put_u64(k);
+    w.put_i64(outstanding_.at(k));
+  }
 }
 
 }  // namespace es2

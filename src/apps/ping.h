@@ -13,7 +13,7 @@
 namespace es2 {
 
 /// Guest-side ICMP echo responder (runs entirely in NAPI context).
-class PingResponder final : public FlowSink {
+class PingResponder final : public FlowSink, public Snapshottable {
  public:
   PingResponder(GuestOs& os, VirtioNetFrontend& dev, std::uint64_t flow);
 
@@ -21,6 +21,8 @@ class PingResponder final : public FlowSink {
                  std::function<void()> done) override;
 
   std::int64_t echoed() const { return echoed_; }
+
+  void snapshot_state(SnapshotWriter& w) const override;
 
  private:
   GuestOs& os_;
@@ -30,7 +32,7 @@ class PingResponder final : public FlowSink {
 };
 
 /// Peer-side ping client: sends echo requests, records RTTs.
-class PingClient {
+class PingClient : public Snapshottable {
  public:
   PingClient(PeerHost& peer, std::uint64_t flow,
              SimDuration interval = kSecond, Bytes payload = 56);
@@ -42,6 +44,10 @@ class PingClient {
   /// Every individual RTT sample in nanoseconds (Fig. 7 is a time series).
   const std::vector<SimDuration>& samples() const { return samples_; }
   std::int64_t lost() const { return sent_ - received_; }
+
+  /// Serializes probe bookkeeping: next id, sent/received counts and the
+  /// outstanding-probe set (sorted ids).
+  void snapshot_state(SnapshotWriter& w) const override;
 
  private:
   void send_echo();

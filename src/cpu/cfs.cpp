@@ -259,4 +259,24 @@ void CfsScheduler::do_resched(Core& core) {
   update_min_vruntime(core);
 }
 
+void CfsScheduler::snapshot_state(SnapshotWriter& w) const {
+  snapshot_rng(w, rng_);
+  w.put_u32(static_cast<std::uint32_t>(cores_.size()));
+  for (const auto& core : cores_) {
+    // Threads are identified by their world-local name, not SimThread::id():
+    // ids come from a process-global counter, so two same-seed worlds in one
+    // process would serialize different bytes for identical states.
+    w.put_string(core->current_ != nullptr ? core->current_->name() : "");
+    w.put_f64(core->min_vruntime_);
+    w.put_bool(core->resched_pending_);
+    w.put_u64(core->context_switches_);
+    w.put_u64(core->preemptions_);
+    w.put_u32(static_cast<std::uint32_t>(core->rq_.size()));
+    for (const SimThread* t : core->rq_) {
+      w.put_string(t->name());
+      t->snapshot_state(w);
+    }
+  }
+}
+
 }  // namespace es2

@@ -96,7 +96,7 @@ class Core {
   TimeWeighted busy_;
 };
 
-class CfsScheduler {
+class CfsScheduler : public Snapshottable {
  public:
   CfsScheduler(Simulator& sim, int num_cores, CfsParams params = {});
   CfsScheduler(const CfsScheduler&) = delete;
@@ -119,6 +119,12 @@ class CfsScheduler {
   /// Registers per-core telemetry probes (labels core=<id>): runnable
   /// counts, context switches, wakeup preemptions.
   void register_metrics(MetricsRegistry& registry);
+
+  /// Serializes the scheduler RNG plus per-core runqueue state: the
+  /// running thread, vruntime floor, and every enqueued thread's
+  /// (name, vruntime, cpu_time) in runqueue order. Threads are keyed by
+  /// world-local name (SimThread ids are process-global).
+  void snapshot_state(SnapshotWriter& w) const override;
 
  private:
   friend class SimThread;

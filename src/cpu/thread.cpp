@@ -167,4 +167,14 @@ void SimThread::notify(bool in) {
   for (const auto& notifier : notifiers_) notifier(*this, in);
 }
 
+void SimThread::snapshot_state(SnapshotWriter& w) const {
+  w.put_u8(static_cast<std::uint8_t>(state_));
+  w.put_u32(static_cast<std::uint32_t>(weight_));
+  w.put_f64(vruntime_);
+  w.put_i64(cpu_time_);
+  w.put_bool(active_.has_value());
+  w.put_i64(active_.has_value() ? active_->remaining : 0);
+  w.put_bool(active_.has_value() && active_->armed);
+}
+
 }  // namespace es2

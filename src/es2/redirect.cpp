@@ -119,4 +119,33 @@ int InterruptRedirector::select_target(Vm& vm, const MsiMessage& msg) {
   ES2_UNREACHABLE("bad redirect policy");
 }
 
+void InterruptRedirector::snapshot_state(SnapshotWriter& w) const {
+  snapshot_rng(w, rng_);
+  w.put_u64(rr_cursor_);
+  w.put_i64(via_sticky_);
+  w.put_i64(via_online_);
+  w.put_i64(via_offline_);
+  // Walk VMs in host order; trackers_ is an unordered_map keyed by
+  // pointer and must never drive serialization order.
+  std::uint32_t tracked = 0;
+  for (int i = 0; i < host_.num_vms(); ++i)
+    if (tracks(host_.vm(i))) ++tracked;
+  w.put_u32(tracked);
+  for (int i = 0; i < host_.num_vms(); ++i) {
+    Vm& vm = host_.vm(i);
+    if (!tracks(vm)) continue;
+    const auto& t = *trackers_.at(&vm);
+    w.put_u32(static_cast<std::uint32_t>(vm.id()));
+    w.put_u32(static_cast<std::uint32_t>(t.online().size()));
+    for (int v : t.online()) w.put_u32(static_cast<std::uint32_t>(v));
+    w.put_u32(static_cast<std::uint32_t>(t.offline().size()));
+    for (int v : t.offline()) w.put_u32(static_cast<std::uint32_t>(v));
+    w.put_u32(static_cast<std::uint32_t>(
+        t.sticky_target() < 0 ? 0xFFFFFFFFu
+                              : static_cast<unsigned>(t.sticky_target())));
+    for (int v = 0; v < vm.num_vcpus(); ++v) w.put_i64(t.interrupts(v));
+    w.put_i64(t.transitions());
+  }
+}
+
 }  // namespace es2

@@ -25,7 +25,7 @@
 
 namespace es2 {
 
-class InterruptRedirector {
+class InterruptRedirector : public Snapshottable {
  public:
   InterruptRedirector(KvmHost& host, RedirectPolicy policy,
                       std::uint64_t seed = 1);
@@ -47,6 +47,10 @@ class InterruptRedirector {
   /// The interceptor body, exposed for tests: returns the destination
   /// vCPU index (or the message's own destination).
   int select_target(Vm& vm, const MsiMessage& msg);
+
+  /// Serializes the redirector RNG, decision counters and every tracked
+  /// VM's status-tracker state (host VM order, never the map's).
+  void snapshot_state(SnapshotWriter& w) const override;
 
  private:
   KvmHost& host_;

@@ -133,4 +133,17 @@ void FaultInjector::register_metrics(MetricsRegistry& registry) {
   });
 }
 
+void FaultInjector::snapshot_state(SnapshotWriter& w) const {
+  snapshot_rng(w, rng_);
+  w.put_bool(burst_bad_);
+  w.put_i64(stats_.link_dropped);
+  w.put_i64(stats_.link_reordered);
+  w.put_i64(stats_.link_duplicated);
+  w.put_i64(stats_.kicks_dropped);
+  w.put_i64(stats_.kicks_delayed);
+  w.put_i64(stats_.msis_dropped);
+  w.put_i64(stats_.worker_stalls);
+  w.put_i64(stats_.spurious_irqs);
+}
+
 }  // namespace es2

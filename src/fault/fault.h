@@ -87,7 +87,7 @@ struct FaultStats {
 /// range, unclaimed by any modeled device driver.
 inline constexpr Vector kSpuriousFaultVector = 0xEB;
 
-class FaultInjector {
+class FaultInjector : public Snapshottable {
  public:
   enum class KickFate { kDeliver, kDrop, kDelay };
 
@@ -121,6 +121,10 @@ class FaultInjector {
   /// Registers fired-fault counters plus the injector's suppressed-log
   /// count as probes.
   void register_metrics(MetricsRegistry& registry);
+
+  /// Serializes the fault RNG, the Gilbert–Elliott chain state and every
+  /// fired-fault counter.
+  void snapshot_state(SnapshotWriter& w) const override;
 
  private:
   Simulator& sim_;

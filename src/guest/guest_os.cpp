@@ -1,5 +1,7 @@
 #include "guest/guest_os.h"
 
+#include <algorithm>
+
 #include "base/assert.h"
 #include "guest/virtio_net.h"
 #include "metrics/metrics.h"
@@ -160,6 +162,27 @@ void GuestOs::register_metrics(MetricsRegistry& registry) {
     return static_cast<double>(unknown_flow_);
   });
   for (VirtioNetFrontend* dev : netdevs_) dev->register_metrics(registry);
+}
+
+void GuestOs::snapshot_state(SnapshotWriter& w) const {
+  snapshot_rng(w, rng_);
+  w.put_i64(unknown_flow_);
+  w.put_u32(static_cast<std::uint32_t>(rr_cursor_.size()));
+  for (std::uint64_t c : rr_cursor_) w.put_u64(c);
+  w.put_u32(static_cast<std::uint32_t>(tasks_.size()));
+  for (const GuestTask* t : tasks_) {
+    w.put_string(t->name());
+    w.put_bool(t->runnable());
+    w.put_bool(t->low_priority());
+  }
+  std::vector<std::uint64_t> flow_ids;
+  flow_ids.reserve(flows_.size());
+  for (const auto& [flow, sink] : flows_) flow_ids.push_back(flow);
+  std::sort(flow_ids.begin(), flow_ids.end());
+  w.put_u32(static_cast<std::uint32_t>(flow_ids.size()));
+  for (std::uint64_t f : flow_ids) w.put_u64(f);
+  w.put_u32(static_cast<std::uint32_t>(netdevs_.size()));
+  for (const VirtioNetFrontend* dev : netdevs_) dev->snapshot_state(w);
 }
 
 }  // namespace es2

@@ -74,7 +74,7 @@ class FlowSink {
                          std::function<void()> done) = 0;
 };
 
-class GuestOs final : public GuestCpu {
+class GuestOs final : public GuestCpu, public Snapshottable {
  public:
   GuestOs(Vm& vm, GuestParams params = {});
   ~GuestOs() override;
@@ -122,6 +122,11 @@ class GuestOs final : public GuestCpu {
   /// Registers kernel-level telemetry — flow demux misses (label
   /// vm=<name>) — plus each attached netdev's driver probes.
   void register_metrics(MetricsRegistry& registry);
+
+  /// Serializes the guest kernel: jitter RNG, per-vCPU scheduler cursors,
+  /// task runnability, the registered flow set (sorted) and every attached
+  /// netdev driver's NAPI/watchdog state.
+  void snapshot_state(SnapshotWriter& w) const override;
 
  private:
   GuestTask* pick_task(int vcpu_index);

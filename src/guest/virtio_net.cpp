@@ -355,4 +355,18 @@ void VirtioNetFrontend::register_metrics(MetricsRegistry& registry) {
   });
 }
 
+void VirtioNetFrontend::snapshot_state(SnapshotWriter& w) const {
+  w.put_bool(napi_scheduled_);
+  w.put_u32(static_cast<std::uint32_t>(tx_waiters_.size()));
+  w.put_i64(tx_stops_);
+  w.put_i64(rx_polled_);
+  w.put_i64(kicks_);
+  w.put_i64(watchdog_last_used_);
+  w.put_u32(static_cast<std::uint32_t>(watchdog_strikes_));
+  w.put_i64(tx_watchdog_kicks_);
+  w.put_i64(rx_watchdog_last_polled_);
+  w.put_u32(static_cast<std::uint32_t>(rx_watchdog_strikes_));
+  w.put_i64(rx_watchdog_polls_);
+}
+
 }  // namespace es2

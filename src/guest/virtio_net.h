@@ -73,6 +73,10 @@ class VirtioNetFrontend {
   /// recoveries (label vm=<name>).
   void register_metrics(MetricsRegistry& registry);
 
+  /// Serializes NAPI scheduling state and the TX/RX watchdog counters.
+  /// Embedded in the owning GuestOs's snapshot section.
+  void snapshot_state(SnapshotWriter& w) const;
+
  private:
   void napi_poll(Vcpu& vcpu, std::function<void()> done);
   void napi_poll_one(Vcpu& vcpu, int budget_left, std::function<void()> done);

@@ -1,0 +1,67 @@
+// Sweep checkpoints: crash-safe per-cell records for ExperimentRunner.
+//
+// A long chaos sweep that dies at cell 37 of 48 — OOM-killed, machine
+// reboot, ^C — should not have to redo 36 finished cells. The runner
+// writes one `es2-ckpt-v1` JSON file per completed cell into a checkpoint
+// directory (atomically: tmp file + rename), and `--resume=<dir>` replays
+// the finished cells from disk instead of re-running them. Each record
+// carries the cell's ScenarioReport plus an opaque bench-defined
+// `artifact` payload, so a resumed sweep reconstructs byte-identical CSV
+// and report output.
+//
+// Failed cells (watchdog trips, exceptions) are checkpointed too — that is
+// the crash *record* — but a resume re-runs them: resumption is
+// self-healing, not fatalistic. Only cells that finished OK are skipped.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/runner.h"
+
+namespace es2 {
+
+/// One checkpointed sweep cell (es2-ckpt-v1).
+struct CellCheckpoint {
+  ScenarioReport report;  // includes artifact / attempts / resumed
+
+  std::string to_json_text() const;
+  static bool parse(const std::string& text, CellCheckpoint* out,
+                    std::string* error);
+};
+
+/// A directory of per-cell checkpoint files, keyed by scenario name.
+class CheckpointDir {
+ public:
+  /// `dir` empty disables everything (load no-ops, store succeeds trivially).
+  explicit CheckpointDir(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+  bool enabled() const { return !dir_.empty(); }
+
+  /// Scenario name -> filesystem-safe stem ([A-Za-z0-9._-], rest mapped
+  /// to '_', plus a short FNV suffix so sanitized collisions stay unique).
+  static std::string sanitize(const std::string& name);
+
+  /// Scans `dir` for *.json cells; ignores unparseable files (a torn
+  /// write that never got renamed cannot exist, but foreign files can).
+  /// Returns the number of cells loaded. No-op when disabled.
+  std::size_t load();
+
+  /// Loaded cell for `name`, or nullptr.
+  const CellCheckpoint* find(const std::string& name) const;
+
+  /// Atomically writes one cell file (tmp + rename). Creates the
+  /// directory on first use. Returns false (with `error`) on I/O failure.
+  bool store(const CellCheckpoint& cell, std::string* error);
+
+  std::size_t size() const { return cells_.size(); }
+
+ private:
+  std::string dir_;
+  std::map<std::string, CellCheckpoint> cells_;
+};
+
+}  // namespace es2

@@ -7,6 +7,7 @@
 #include "apps/netperf.h"
 #include "apps/ping.h"
 #include "base/assert.h"
+#include "base/strings.h"
 
 namespace es2 {
 
@@ -52,13 +53,16 @@ struct StreamWorkload {
             t % vcpus));
         tb.guest().add_task(*senders.back());
         senders.back()->register_metrics(tb.metrics());
+        tb.snapshotter().add(format("app/netperf-tx%d", t), *senders.back());
         peer_rx.push_back(
             std::make_unique<PeerStreamReceiver>(tb.peer(), flow, opts.proto));
         peer_rx.back()->register_metrics(tb.metrics());
+        tb.snapshotter().add(format("app/peer-rx%d", t), *peer_rx.back());
       } else {
         guest_rx.push_back(std::make_unique<NetperfReceiver>(
             tb.guest(), tb.frontend(), flow, opts.proto));
         guest_rx.back()->register_metrics(tb.metrics());
+        tb.snapshotter().add(format("app/netperf-rx%d", t), *guest_rx.back());
         PeerStreamSender::Params p;
         p.proto = opts.proto;
         p.msg_size = opts.msg_size;
@@ -67,6 +71,7 @@ struct StreamWorkload {
         peer_tx.push_back(
             std::make_unique<PeerStreamSender>(tb.peer(), flow, p));
         peer_tx.back()->register_metrics(tb.metrics());
+        tb.snapshotter().add(format("app/peer-tx%d", t), *peer_tx.back());
       }
     }
   }
@@ -119,6 +124,12 @@ std::shared_ptr<MetricsData> harvest_metrics(Testbed& tb) {
     data->top_deltas = top_metric_deltas(tb.metrics(), *sampler, 5);
   }
   return data;
+}
+
+std::shared_ptr<HashSeries> harvest_hashes(Testbed& tb) {
+  const EpochHashLog* log = tb.hash_log();
+  if (log == nullptr) return nullptr;
+  return std::make_shared<HashSeries>(log->series());
 }
 
 TraceStages trace_stages(const TraceData* data) {
@@ -225,6 +236,7 @@ StreamResult run_stream(const StreamOptions& opts) {
   TestbedOptions to = testbed_options(opts.config, opts.macro, opts.seed);
   to.trace = opts.trace;
   to.metrics = opts.metrics;
+  to.snapshot = opts.snapshot;
   Testbed tb(to);
   if (opts.quota_override > 0) {
     HybridIoHandling::attach(tb.backend(), opts.quota_override);
@@ -244,6 +256,7 @@ StreamResult run_stream(const StreamOptions& opts) {
   result.trace = harvest_trace(tb);
   result.stages = trace_stages(result.trace.get());
   result.metrics = harvest_metrics(tb);
+  result.hashes = harvest_hashes(tb);
   return result;
 }
 
@@ -257,6 +270,7 @@ ChaosStreamResult run_chaos_stream(const ChaosStreamOptions& opts,
   to.guest_params.tx_watchdog = opts.tx_watchdog;
   to.trace = opts.stream.trace;
   to.metrics = opts.stream.metrics;
+  to.snapshot = opts.stream.snapshot;
   Testbed tb(to);
   if (opts.stream.quota_override > 0) {
     HybridIoHandling::attach(tb.backend(), opts.stream.quota_override);
@@ -307,6 +321,7 @@ ChaosStreamResult run_chaos_stream(const ChaosStreamOptions& opts,
   result.stream.trace = harvest_trace(tb);
   result.stream.stages = trace_stages(result.stream.trace.get());
   result.stream.metrics = harvest_metrics(tb);
+  result.stream.hashes = harvest_hashes(tb);
   result.report = wd.report(name);
   // Failure lines carry the top moving metrics so a wedge points at the
   // layer that stopped (or never started) making progress.
@@ -324,10 +339,13 @@ PingResult run_ping(const PingOptions& opts) {
   TestbedOptions to = testbed_options(opts.config, /*macro=*/true, opts.seed);
   to.trace = opts.trace;
   to.metrics = opts.metrics;
+  to.snapshot = opts.snapshot;
   Testbed tb(to);
   const std::uint64_t flow = 7;
   PingResponder responder(tb.guest(), tb.frontend(), flow);
   PingClient client(tb.peer(), flow, opts.interval);
+  tb.snapshotter().add("app/ping-responder", responder);
+  tb.snapshotter().add("app/ping-client", client);
 
   tb.start();
   client.start();
@@ -343,6 +361,7 @@ PingResult run_ping(const PingOptions& opts) {
   result.trace = harvest_trace(tb);
   result.stages = trace_stages(result.trace.get());
   result.metrics = harvest_metrics(tb);
+  result.hashes = harvest_hashes(tb);
   return result;
 }
 
@@ -354,6 +373,7 @@ MemcachedResult run_memcached(const MemcachedOptions& opts) {
   TestbedOptions to = testbed_options(opts.config, /*macro=*/true, opts.seed);
   to.trace = opts.trace;
   to.metrics = opts.metrics;
+  to.snapshot = opts.snapshot;
   Testbed tb(to);
   const std::uint64_t base_flow = 1000;
   MemcachedServer server(tb.guest(), tb.frontend(), base_flow,
@@ -363,6 +383,8 @@ MemcachedResult run_memcached(const MemcachedOptions& opts) {
   cp.concurrency_per_thread = opts.concurrency_per_thread;
   cp.get_ratio = opts.get_ratio;
   MemaslapClient client(tb.peer(), base_flow, cp, opts.seed);
+  tb.snapshotter().add("app/memcached", server);
+  tb.snapshotter().add("app/memaslap", client);
 
   tb.start();
   client.start();
@@ -377,6 +399,7 @@ MemcachedResult run_memcached(const MemcachedOptions& opts) {
   result.trace = harvest_trace(tb);
   result.stages = trace_stages(result.trace.get());
   result.metrics = harvest_metrics(tb);
+  result.hashes = harvest_hashes(tb);
   return result;
 }
 
@@ -388,11 +411,14 @@ ApacheResult run_apache(const ApacheOptions& opts) {
   TestbedOptions to = testbed_options(opts.config, /*macro=*/true, opts.seed);
   to.trace = opts.trace;
   to.metrics = opts.metrics;
+  to.snapshot = opts.snapshot;
   Testbed tb(to);
   const std::uint64_t base_flow = 2000;
   ApacheServer server(tb.guest(), tb.frontend(), base_flow, opts.concurrency,
                       opts.workers);
   AbClient client(tb.peer(), base_flow, opts.concurrency);
+  tb.snapshotter().add("app/httpd", server);
+  tb.snapshotter().add("app/ab", client);
 
   tb.start();
   client.start();
@@ -406,6 +432,7 @@ ApacheResult run_apache(const ApacheOptions& opts) {
   result.trace = harvest_trace(tb);
   result.stages = trace_stages(result.trace.get());
   result.metrics = harvest_metrics(tb);
+  result.hashes = harvest_hashes(tb);
   return result;
 }
 
@@ -413,11 +440,14 @@ HttperfResult run_httperf(const HttperfOptions& opts) {
   TestbedOptions to = testbed_options(opts.config, /*macro=*/true, opts.seed);
   to.trace = opts.trace;
   to.metrics = opts.metrics;
+  to.snapshot = opts.snapshot;
   Testbed tb(to);
   const std::uint64_t base_flow = 3000;
   ApacheServer server(tb.guest(), tb.frontend(), base_flow, /*client_conns=*/1,
                       /*workers=*/4);
   HttperfClient client(tb.peer(), server.listen_flow(), opts.rate_per_sec);
+  tb.snapshotter().add("app/httpd", server);
+  tb.snapshotter().add("app/httperf", client);
 
   tb.start();
   client.start();
@@ -435,6 +465,7 @@ HttperfResult run_httperf(const HttperfOptions& opts) {
   result.trace = harvest_trace(tb);
   result.stages = trace_stages(result.trace.get());
   result.metrics = harvest_metrics(tb);
+  result.hashes = harvest_hashes(tb);
   return result;
 }
 

@@ -72,6 +72,10 @@ struct MetricsData {
 /// Call after the measured span, before teardown. Never null.
 std::shared_ptr<MetricsData> harvest_metrics(Testbed& tb);
 
+/// Copies the testbed's epoch-hash series (the divergence-bisector input).
+/// Null unless the run set `snapshot.hash_epochs`. Call before teardown.
+std::shared_ptr<HashSeries> harvest_hashes(Testbed& tb);
+
 /// Stage summary of a harvested trace (all zeros for null / empty data).
 TraceStages trace_stages(const TraceData* data);
 
@@ -115,6 +119,8 @@ struct StreamOptions {
   TraceOptions trace;
   /// Registry sampling cadence (on by default; passive either way).
   MetricsOptions metrics;
+  /// Epoch state-hashing (off by default; passive when on).
+  SnapshotOptions snapshot;
 };
 
 struct StreamResult {
@@ -130,6 +136,8 @@ struct StreamResult {
   TraceStages stages;
   /// Final registry snapshot (never null after a run).
   std::shared_ptr<MetricsData> metrics;
+  /// Null unless the run hashed epochs.
+  std::shared_ptr<HashSeries> hashes;
 };
 
 StreamResult run_stream(const StreamOptions& opts);
@@ -186,6 +194,7 @@ struct PingOptions {
   std::uint64_t seed = 1;
   TraceOptions trace;
   MetricsOptions metrics;
+  SnapshotOptions snapshot;
 };
 
 struct PingResult {
@@ -195,6 +204,7 @@ struct PingResult {
   std::shared_ptr<TraceData> trace;
   TraceStages stages;
   std::shared_ptr<MetricsData> metrics;
+  std::shared_ptr<HashSeries> hashes;
 };
 
 PingResult run_ping(const PingOptions& opts);
@@ -214,6 +224,7 @@ struct MemcachedOptions {
   SimDuration measure = sec(1);
   TraceOptions trace;
   MetricsOptions metrics;
+  SnapshotOptions snapshot;
 };
 
 struct MemcachedResult {
@@ -223,6 +234,7 @@ struct MemcachedResult {
   std::shared_ptr<TraceData> trace;
   TraceStages stages;
   std::shared_ptr<MetricsData> metrics;
+  std::shared_ptr<HashSeries> hashes;
 };
 
 MemcachedResult run_memcached(const MemcachedOptions& opts);
@@ -240,6 +252,7 @@ struct ApacheOptions {
   SimDuration measure = sec(1);
   TraceOptions trace;
   MetricsOptions metrics;
+  SnapshotOptions snapshot;
 };
 
 struct ApacheResult {
@@ -248,6 +261,7 @@ struct ApacheResult {
   std::shared_ptr<TraceData> trace;
   TraceStages stages;
   std::shared_ptr<MetricsData> metrics;
+  std::shared_ptr<HashSeries> hashes;
 };
 
 ApacheResult run_apache(const ApacheOptions& opts);
@@ -259,6 +273,7 @@ struct HttperfOptions {
   std::uint64_t seed = 1;
   TraceOptions trace;
   MetricsOptions metrics;
+  SnapshotOptions snapshot;
 };
 
 struct HttperfResult {
@@ -269,6 +284,7 @@ struct HttperfResult {
   std::shared_ptr<TraceData> trace;
   TraceStages stages;
   std::shared_ptr<MetricsData> metrics;
+  std::shared_ptr<HashSeries> hashes;
 };
 
 HttperfResult run_httperf(const HttperfOptions& opts);

@@ -78,12 +78,33 @@ Testbed::Testbed(TestbedOptions options) : options_(std::move(options)) {
     }
   }
 
+  // World snapshot registry: every stateful component under a stable name,
+  // in construction order (the snapshot section order and the hash-vector
+  // index order). Workloads append themselves when they attach.
+  snapshotter_.add("sim", *sim_);
+  snapshotter_.add("cfs", host_->sched());
+  for (int v = 0; v < host_->num_vms(); ++v) {
+    Vm& vm = host_->vm(v);
+    snapshotter_.add("vm/" + vm.name(), vm);
+  }
+  for (auto& guest : guests_)
+    snapshotter_.add("guest/" + guest->vm().name(), *guest);
+  snapshotter_.add("link/vm_to_peer", link_->a_to_b);
+  snapshotter_.add("link/peer_to_vm", link_->b_to_a);
+  snapshotter_.add("peer", *peer_);
+  snapshotter_.add("vhost-worker", *worker_);
+  snapshotter_.add("vhost/vm0", *backend_);
+  if (es2_->redirector())
+    snapshotter_.add("es2.redirector", *es2_->redirector());
+  if (faults_) snapshotter_.add("fault", *faults_);
+
   register_all_metrics();
   if (o.metrics.enabled) {
     SamplerOptions so;
     so.period = o.metrics.sample_period;
     so.ring_capacity = o.metrics.ring_capacity;
     sampler_ = std::make_unique<MetricsSampler>(*sim_, registry_, so);
+    snapshotter_.add("metrics.sampler", *sampler_);
   }
   if (auditor_) {
     // A failed audit reports which metrics were moving when it tripped.
@@ -122,11 +143,39 @@ void Testbed::register_all_metrics() {
   link_->a_to_b.register_metrics(registry_, "vm_to_peer");
   link_->b_to_a.register_metrics(registry_, "peer_to_vm");
   if (faults_) faults_->register_metrics(registry_);
+
+  // Epoch-hash position probes. Registered only when hashing is on, so a
+  // hash-off registry snapshot is byte-identical to the pre-snapshot era.
+  if (options_.snapshot.hash_epochs) {
+    registry_.probe("snapshot.epochs", [this] {
+      return hash_log_ ? static_cast<double>(hash_log_->epochs()) : 0.0;
+    });
+    registry_.probe("snapshot.last_hash_hi", [this] {
+      return hash_log_
+                 ? static_cast<double>(hash_log_->last_world_hash() >> 32)
+                 : 0.0;
+    });
+    registry_.probe("snapshot.last_hash_lo", [this] {
+      return hash_log_ ? static_cast<double>(hash_log_->last_world_hash() &
+                                             0xFFFFFFFFull)
+                       : 0.0;
+    });
+  }
 }
 
 Testbed::~Testbed() = default;
 
 void Testbed::start() {
+  // The hash log freezes the component-name vector, so it is created here
+  // — after workloads registered themselves — not in the constructor.
+  if (options_.snapshot.hash_epochs && hash_log_ == nullptr) {
+    hash_log_ = std::make_unique<EpochHashLog>(snapshotter_, options_.snapshot,
+                                               options_.seed);
+    hash_timer_ = std::make_unique<PeriodicTimer>(
+        *sim_, options_.snapshot.epoch,
+        [this] { hash_log_->record(sim_->now()); });
+    hash_timer_->start();
+  }
   // Start the sampler first so late-registered workload instruments (apps
   // attach between construction and start) are still inside the frozen
   // set.

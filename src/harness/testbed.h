@@ -26,6 +26,7 @@
 #include "net/link.h"
 #include "net/peer.h"
 #include "sim/invariant_auditor.h"
+#include "snapshot/state_hash.h"
 #include "trace/trace.h"
 #include "virtio/vhost.h"
 #include "vm/vm.h"
@@ -66,6 +67,11 @@ struct TestbedOptions {
   /// deterministic in-sim cadence. Sampling is passive: on-vs-off leaves
   /// golden outputs bit-identical.
   MetricsOptions metrics;
+  /// Epoch state-hashing. `snapshot.hash_epochs` arms a periodic FNV
+  /// digest of every registered component (the determinism oracle behind
+  /// `tools/divergence_bisect`). Hashing is passive: on-vs-off leaves
+  /// golden outputs bit-identical.
+  SnapshotOptions snapshot;
 };
 
 class Testbed {
@@ -102,6 +108,15 @@ class Testbed {
   /// Null unless options.metrics.enabled; started by start().
   MetricsSampler* sampler() { return sampler_.get(); }
 
+  /// The world snapshot registry: every stateful component under a stable
+  /// name, in construction order. Workloads append themselves when they
+  /// attach (before start(), so epoch hashes and snapshots cover them).
+  WorldSnapshotter& snapshotter() { return snapshotter_; }
+  const WorldSnapshotter& snapshotter() const { return snapshotter_; }
+  /// Null unless options.snapshot.hash_epochs; created by start() (after
+  /// workloads have registered, so the component set is complete).
+  EpochHashLog* hash_log() { return hash_log_.get(); }
+
   /// Starts every VM (vCPUs + guest timers).
   void start();
 
@@ -126,6 +141,9 @@ class Testbed {
   std::unique_ptr<FaultInjector> faults_;
   std::unique_ptr<InvariantAuditor> auditor_;
   std::unique_ptr<Tracer> tracer_;
+  WorldSnapshotter snapshotter_;
+  std::unique_ptr<EpochHashLog> hash_log_;
+  std::unique_ptr<PeriodicTimer> hash_timer_;
   // Last: the sampler references both the registry and the simulator, so
   // it must be torn down first.
   MetricsRegistry registry_;

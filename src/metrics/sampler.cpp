@@ -56,4 +56,11 @@ double MetricsSampler::frame_value(std::size_t f, std::size_t i) const {
   return values_[raw_index(f) * frozen_ + i];
 }
 
+void MetricsSampler::snapshot_state(SnapshotWriter& w) const {
+  w.put_u64(static_cast<std::uint64_t>(frozen_));
+  w.put_u64(total_samples_);
+  w.put_u64(static_cast<std::uint64_t>(head_));
+  w.put_bool(timer_.running());
+}
+
 }  // namespace es2

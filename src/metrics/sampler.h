@@ -44,7 +44,7 @@ struct MetricsOptions {
   std::size_t ring_capacity = 512;
 };
 
-class MetricsSampler {
+class MetricsSampler : public Snapshottable {
  public:
   MetricsSampler(Simulator& sim, const MetricsRegistry& registry,
                  SamplerOptions options = {});
@@ -69,6 +69,9 @@ class MetricsSampler {
   SimTime frame_time(std::size_t f) const;
   /// Value of instrument `i` in retained frame `f`.
   double frame_value(std::size_t f, std::size_t i) const;
+
+  /// Serializes ring position and tick count (sampler resume position).
+  void snapshot_state(SnapshotWriter& w) const override;
 
  private:
   void tick();

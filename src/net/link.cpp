@@ -35,13 +35,27 @@ void Link::transmit(PacketPtr packet) {
       return;
     }
     if (faults_->duplicate_packet()) {
-      sim_.at(done + latency_ + 1, [this, packet] { receiver_(packet); });
+      ++in_flight_;
+      sim_.at(done + latency_ + 1, [this, packet] {
+        --in_flight_;
+        receiver_(packet);
+      });
     }
     extra = faults_->reorder_extra_delay();
   }
+  ++in_flight_;
   sim_.at(done + latency_ + extra, [this, packet = std::move(packet)]() mutable {
+    --in_flight_;
     receiver_(std::move(packet));
   });
+}
+
+void Link::snapshot_state(SnapshotWriter& w) const {
+  w.put_i64(line_free_at_);
+  w.put_u32(static_cast<std::uint32_t>(in_flight_));
+  w.put_i64(packets_.value());
+  w.put_i64(bytes_.value());
+  w.put_i64(dropped_.value());
 }
 
 void Link::register_metrics(MetricsRegistry& registry,

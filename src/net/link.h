@@ -19,7 +19,7 @@ namespace es2 {
 class FaultInjector;
 class MetricsRegistry;
 
-class Link {
+class Link : public Snapshottable {
  public:
   using Receiver = std::function<void(PacketPtr)>;
 
@@ -40,10 +40,16 @@ class Link {
   Bytes bytes_sent() const { return bytes_.value(); }
   /// Packets lost on the wire (fault injection); a perfect link stays 0.
   std::int64_t packets_dropped() const { return dropped_.value(); }
+  /// Packets serialized onto the wire but not yet delivered.
+  int in_flight() const { return in_flight_; }
 
   /// Registers wire telemetry probes (label link=<direction>).
   void register_metrics(MetricsRegistry& registry,
                         const std::string& direction);
+
+  /// Serializes serializer occupancy (line_free_at, in-flight count) and
+  /// lifetime wire counters.
+  void snapshot_state(SnapshotWriter& w) const override;
 
  private:
   SimDuration serialization_delay(Bytes size) const;
@@ -54,6 +60,7 @@ class Link {
   Receiver receiver_;
   FaultInjector* faults_ = nullptr;
   SimTime line_free_at_ = 0;  // when the serializer becomes idle
+  int in_flight_ = 0;         // delivery events scheduled, not yet fired
   Counter packets_;
   Counter bytes_;
   Counter dropped_;

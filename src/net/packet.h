@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "base/units.h"
+#include "snapshot/snapshot.h"
 
 namespace es2 {
 
@@ -41,6 +42,25 @@ using PacketPtr = std::shared_ptr<const Packet>;
 
 inline PacketPtr make_packet(Packet p) {
   return std::make_shared<const Packet>(std::move(p));
+}
+
+/// Serializes one packet's metadata (or a null marker) into a snapshot.
+/// Shared by every component that queues PacketPtrs, so all snapshots
+/// agree on the encoding.
+inline void snapshot_packet(SnapshotWriter& w, const PacketPtr& p) {
+  w.put_bool(p != nullptr);
+  if (p == nullptr) return;
+  w.put_u8(static_cast<std::uint8_t>(p->proto));
+  w.put_u64(p->flow);
+  w.put_i64(p->wire_size);
+  w.put_i64(p->payload);
+  w.put_u64(p->seq);
+  w.put_u64(p->ack_seq);
+  w.put_bool(p->flags.syn);
+  w.put_bool(p->flags.ack);
+  w.put_bool(p->flags.fin);
+  w.put_i64(p->sent_at);
+  w.put_u64(p->probe_id);
 }
 
 /// Number of MTU-sized segments a message of `bytes` payload occupies.

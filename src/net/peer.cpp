@@ -1,5 +1,8 @@
 #include "net/peer.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "base/assert.h"
 
 namespace es2 {
@@ -35,6 +38,17 @@ void PeerHost::on_receive(const PacketPtr& packet) {
     return;
   }
   it->second(packet);
+}
+
+void PeerHost::snapshot_state(SnapshotWriter& w) const {
+  w.put_i64(proc_delay_);
+  w.put_i64(unrouted_);
+  std::vector<std::uint64_t> flow_ids;
+  flow_ids.reserve(flows_.size());
+  for (const auto& [flow, handler] : flows_) flow_ids.push_back(flow);
+  std::sort(flow_ids.begin(), flow_ids.end());
+  w.put_u32(static_cast<std::uint32_t>(flow_ids.size()));
+  for (std::uint64_t f : flow_ids) w.put_u64(f);
 }
 
 }  // namespace es2

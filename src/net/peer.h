@@ -16,7 +16,7 @@
 
 namespace es2 {
 
-class PeerHost {
+class PeerHost : public Snapshottable {
  public:
   using FlowHandler = std::function<void(const PacketPtr&)>;
 
@@ -38,6 +38,10 @@ class PeerHost {
 
   Simulator& sim() { return sim_; }
   std::int64_t unrouted() const { return unrouted_; }
+
+  /// Serializes the registered flow set (sorted ids — flows_ is an
+  /// unordered_map, never walked in hash order) and the unrouted count.
+  void snapshot_state(SnapshotWriter& w) const override;
 
  private:
   void on_receive(const PacketPtr& packet);

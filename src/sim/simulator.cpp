@@ -55,6 +55,13 @@ PeriodicTimer::PeriodicTimer(Simulator& sim, SimDuration period,
   ES2_CHECK(period_ > 0);
 }
 
+void Simulator::snapshot_state(SnapshotWriter& w) const {
+  w.put_i64(now_);
+  w.put_u64(seed_);
+  w.put_u64(events_executed_);
+  w.put_u64(queue_.size());
+}
+
 void PeriodicTimer::start() {
   if (running_) return;
   running_ = true;

@@ -16,12 +16,13 @@
 #include "base/rng.h"
 #include "base/units.h"
 #include "sim/event_queue.h"
+#include "snapshot/snapshot.h"
 
 namespace es2 {
 
 class Tracer;
 
-class Simulator {
+class Simulator : public Snapshottable {
  public:
   explicit Simulator(std::uint64_t seed = 1);
   Simulator(const Simulator&) = delete;
@@ -90,6 +91,11 @@ class Simulator {
   /// threading it through every constructor.
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
   Tracer* tracer() const { return tracer_; }
+
+  /// Kernel state: clock, seed, executed-event count, live queue depth.
+  /// Pending events themselves are not serialized (callbacks capture
+  /// closures); restore is deterministic re-execution — see DESIGN.md §4f.
+  void snapshot_state(SnapshotWriter& w) const override;
 
  private:
   EventQueue queue_;

@@ -528,4 +528,35 @@ void VhostNetBackend::register_metrics(MetricsRegistry& registry) {
   rx_vq_.register_metrics(registry, vm_.name());
 }
 
+void VhostWorker::snapshot_state(SnapshotWriter& w) const {
+  snapshot_rng(w, rng_);
+  w.put_bool(was_sleeping_);
+  w.put_u32(static_cast<std::uint32_t>(active_.size()));
+  for (const VqHandler* h : active_) {
+    w.put_string(h->name_);
+    w.put_bool(h->queued_);
+    w.put_i64(h->ready_at_);
+  }
+  w.put_u64(turns_);
+  w.put_u64(wakeups_);
+  thread_.snapshot_state(w);
+}
+
+void VhostNetBackend::snapshot_state(SnapshotWriter& w) const {
+  w.put_u32(static_cast<std::uint32_t>(poll_quota_));
+  tx_vq_.snapshot_state(w);
+  rx_vq_.snapshot_state(w);
+  w.put_u32(static_cast<std::uint32_t>(sock_buf_.size()));
+  for (const PacketPtr& p : sock_buf_) snapshot_packet(w, p);
+  snapshot_rng(w, rng_);
+  w.put_i64(rx_dropped_);
+  w.put_i64(rx_repolls_);
+  w.put_i64(tx_packets_);
+  w.put_i64(rx_packets_);
+  w.put_i64(tx_irqs_);
+  w.put_i64(rx_irqs_);
+  w.put_i64(tx_reverts_);
+  w.put_i64(tx_quota_hits_);
+}
+
 }  // namespace es2

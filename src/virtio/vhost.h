@@ -61,7 +61,7 @@ class VqHandler {
 };
 
 /// The vhost I/O thread: round-robins activated handlers.
-class VhostWorker {
+class VhostWorker : public Snapshottable {
  public:
   /// Cycles consumed by the worker loop per handler dispatch (dequeue,
   /// bookkeeping, switching between handlers).
@@ -115,6 +115,10 @@ class VhostWorker {
   /// default) keeps the worker stall-free.
   void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
 
+  /// Serializes the worker RNG, the active-handler queue (names in
+  /// round-robin order) and the thread's scheduling state.
+  void snapshot_state(SnapshotWriter& w) const override;
+
  private:
   void main_loop();
 
@@ -156,7 +160,7 @@ struct VhostNetParams {
 
 /// vhost-net device instance for one VM: TX + RX virtqueues, their
 /// handlers, the MSI identities, and the wire hookup.
-class VhostNetBackend {
+class VhostNetBackend : public Snapshottable {
  public:
   VhostNetBackend(Vm& vm, VhostWorker& worker, Link& tx_link,
                   VhostNetParams params = {});
@@ -218,6 +222,10 @@ class VhostNetBackend {
   /// Registers backend telemetry — per-direction packet/IRQ counts, mode
   /// transitions, drops — plus both virtqueues' probes (label vm=<name>).
   void register_metrics(MetricsRegistry& registry);
+
+  /// Serializes both virtqueues, the host socket buffer contents, the
+  /// cost-jitter RNG and every lifetime counter.
+  void snapshot_state(SnapshotWriter& w) const override;
 
  private:
   class TxHandler;

@@ -86,4 +86,27 @@ void Virtqueue::register_metrics(MetricsRegistry& registry,
   });
 }
 
+void Virtqueue::snapshot_state(SnapshotWriter& w) const {
+  w.put_u32(static_cast<std::uint32_t>(capacity_));
+  w.put_u32(static_cast<std::uint32_t>(avail_.size()));
+  for (const Entry& e : avail_) {
+    snapshot_packet(w, e.packet);
+    w.put_i64(e.len);
+  }
+  w.put_u32(static_cast<std::uint32_t>(used_.size()));
+  for (const Entry& e : used_) {
+    snapshot_packet(w, e.packet);
+    w.put_i64(e.len);
+  }
+  w.put_u32(static_cast<std::uint32_t>(in_flight_));
+  w.put_bool(notifications_enabled_);
+  w.put_i64(avail_idx_);
+  w.put_i64(avail_event_);
+  w.put_bool(interrupts_enabled_);
+  w.put_i64(used_idx_);
+  w.put_i64(used_event_);
+  w.put_i64(notify_enables_);
+  w.put_i64(irq_enables_);
+}
+
 }  // namespace es2

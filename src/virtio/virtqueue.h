@@ -111,6 +111,11 @@ class Virtqueue {
   void register_metrics(MetricsRegistry& registry,
                         const std::string& vm_name);
 
+  /// Serializes ring occupancy (every avail/used entry's packet metadata)
+  /// and the full EVENT_IDX suppression state. Embedded in the owning
+  /// device's snapshot section.
+  void snapshot_state(SnapshotWriter& w) const;
+
  private:
   std::string name_;
   int capacity_;

@@ -1,5 +1,7 @@
 #include "vm/exit.h"
 
+#include "snapshot/snapshot.h"
+
 #include "base/assert.h"
 #include "base/strings.h"
 
@@ -85,6 +87,18 @@ std::string ExitStats::summary(SimTime now) const {
   }
   out += format(" TIG=%.1f%%", tig_percent());
   return out;
+}
+
+void ExitStats::snapshot_state(SnapshotWriter& w) const {
+  for (int i = 0; i < kNumExitReasons; ++i)
+    w.put_i64(counts_[static_cast<std::size_t>(i)]);
+  for (int i = 0; i < kNumExitReasons; ++i)
+    w.put_i64(window_base_[static_cast<std::size_t>(i)]);
+  w.put_i64(total_);
+  w.put_i64(window_total_base_);
+  w.put_i64(window_start_);
+  w.put_i64(spans_.guest_time());
+  w.put_i64(spans_.host_time());
 }
 
 }  // namespace es2

@@ -15,6 +15,8 @@
 
 namespace es2 {
 
+class SnapshotWriter;
+
 enum class ExitReason : int {
   kExternalInterrupt = 0,  // interrupt arrived while in guest mode (IPI kick,
                            // host timer tick, …)
@@ -76,6 +78,9 @@ class ExitStats {
   void merge(const ExitStats& other);
 
   std::string summary(SimTime now) const;
+
+  /// Serializes lifetime counts, window bases and guest/host time spans.
+  void snapshot_state(SnapshotWriter& w) const;
 
  private:
   SimDuration window(SimTime now) const { return now - window_start_; }

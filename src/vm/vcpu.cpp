@@ -476,4 +476,20 @@ void Vcpu::register_metrics(MetricsRegistry& registry) {
   });
 }
 
+void Vcpu::snapshot_state(SnapshotWriter& w) const {
+  w.put_u8(static_cast<std::uint8_t>(mode_));
+  w.put_bool(halted_);
+  w.put_bool(need_entry_on_resume_);
+  w.put_u32(static_cast<std::uint32_t>(suspended_.size()));
+  for (const PausedSegment& s : suspended_) w.put_i64(s.remaining);
+  lapic_.snapshot_state(w);
+  vapic_.snapshot_state(w);
+  stats_.snapshot_state(w);
+  w.put_i64(irqs_taken_);
+  w.put_i64(eli_stalls_);
+  w.put_i64(eli_hazards_);
+  w.put_u64(noise_seq_);
+  thread_.snapshot_state(w);
+}
+
 }  // namespace es2

@@ -120,6 +120,11 @@ class Vcpu {
   /// above (labels vm=<name>, vcpu=<index>). Zero hot-path cost.
   void register_metrics(MetricsRegistry& registry);
 
+  /// Serializes mode, interrupt state (LAPIC/vAPIC), exit statistics and
+  /// the vCPU thread's scheduling state. Embedded in the owning Vm's
+  /// snapshot section.
+  void snapshot_state(SnapshotWriter& w) const;
+
  private:
   enum class Mode { kHost, kGuest };
 

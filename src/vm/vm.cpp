@@ -83,4 +83,11 @@ Vm& KvmHost::vm(int i) {
   return *vms_[static_cast<size_t>(i)];
 }
 
+void Vm::snapshot_state(SnapshotWriter& w) const {
+  w.put_u32(static_cast<std::uint32_t>(id_));
+  w.put_u32(static_cast<std::uint32_t>(timer_hz_));
+  w.put_u32(static_cast<std::uint32_t>(vcpus_.size()));
+  for (const auto& vcpu : vcpus_) vcpu->snapshot_state(w);
+}
+
 }  // namespace es2

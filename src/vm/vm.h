@@ -20,7 +20,7 @@ namespace es2 {
 
 class KvmHost;
 
-class Vm {
+class Vm : public Snapshottable {
  public:
   /// `pinned_cores[i]` pins vCPU i (-1 leaves it migratable).
   Vm(KvmHost& host, int id, std::string name, std::vector<int> pinned_cores,
@@ -52,6 +52,9 @@ class Vm {
 
   /// Sum of all vCPU exit statistics.
   ExitStats aggregate_stats() const;
+
+  /// Serializes the VM's timer config plus every vCPU's state.
+  void snapshot_state(SnapshotWriter& w) const override;
 
  private:
   void arm_guest_timer(int vcpu_index);
