@@ -29,6 +29,11 @@ VcpuStatusTracker& InterruptRedirector::tracker(Vm& vm) {
   return *it->second;
 }
 
+void InterruptRedirector::on_device_reset(Vm& vm) {
+  if (!tracks(vm)) return;
+  tracker(vm).set_sticky_target(-1);
+}
+
 int InterruptRedirector::select_target(Vm& vm, const MsiMessage& msg) {
   // UP VMs: redirection can have no effect (paper §IV-C, special case 1).
   if (vm.num_vcpus() <= 1) return msg.dest_vcpu;

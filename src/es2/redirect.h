@@ -48,6 +48,14 @@ class InterruptRedirector : public Snapshottable {
   /// vCPU index (or the message's own destination).
   int select_target(Vm& vm, const MsiMessage& msg);
 
+  /// Device-reset hook (wired to the vhost backend's reset listener):
+  /// drops the sticky steering target so the renegotiated device starts
+  /// from a fresh balancing decision — the pre-reset affinity carries no
+  /// cache benefit across a ring teardown. The status tracker itself keeps
+  /// running: vCPU online/offline transitions are scheduler facts,
+  /// independent of device lifecycle.
+  void on_device_reset(Vm& vm);
+
   /// Serializes the redirector RNG, decision counters and every tracked
   /// VM's status-tracker state (host VM order, never the map's).
   void snapshot_state(SnapshotWriter& w) const override;

@@ -103,6 +103,32 @@ void FaultInjector::stop_spurious() {
   if (spurious_timer_) spurious_timer_->stop();
 }
 
+void FaultInjector::start_lifecycle(LifecycleHooks hooks) {
+  ES2_CHECK(plan_.lifecycle_enabled());
+  auto arm = [this](SimDuration period, std::int64_t FaultStats::*counter,
+                    std::function<void()> fire) {
+    if (period <= 0 || !fire) return;
+    lifecycle_timers_.push_back(std::make_unique<PeriodicTimer>(
+        sim_, period, [this, counter, fire = std::move(fire)] {
+          ++(stats_.*counter);
+          fire();
+        }));
+    lifecycle_timers_.back()->start();
+  };
+  arm(plan_.desc_corrupt_period, &FaultStats::desc_corruptions,
+      std::move(hooks.corrupt_ring));
+  arm(plan_.avail_tear_period, &FaultStats::avail_tears,
+      std::move(hooks.tear_avail));
+  arm(plan_.handler_wedge_period, &FaultStats::handler_wedges,
+      std::move(hooks.wedge_handler));
+  arm(plan_.worker_crash_period, &FaultStats::worker_crashes,
+      std::move(hooks.crash_worker));
+}
+
+void FaultInjector::stop_lifecycle() {
+  for (auto& t : lifecycle_timers_) t->stop();
+}
+
 void FaultInjector::register_metrics(MetricsRegistry& registry) {
   registry.probe("fault.link.dropped", {}, [this] {
     return static_cast<double>(stats_.link_dropped);
@@ -128,6 +154,18 @@ void FaultInjector::register_metrics(MetricsRegistry& registry) {
   registry.probe("fault.spurious_irqs", {}, [this] {
     return static_cast<double>(stats_.spurious_irqs);
   });
+  registry.probe("fault.desc_corruptions", {}, [this] {
+    return static_cast<double>(stats_.desc_corruptions);
+  });
+  registry.probe("fault.avail_tears", {}, [this] {
+    return static_cast<double>(stats_.avail_tears);
+  });
+  registry.probe("fault.handler_wedges", {}, [this] {
+    return static_cast<double>(stats_.handler_wedges);
+  });
+  registry.probe("fault.worker_crashes", {}, [this] {
+    return static_cast<double>(stats_.worker_crashes);
+  });
   registry.probe("log.suppressed", {{"source", "fault"}}, [this] {
     return static_cast<double>(warn_limit_.total_suppressed());
   });
@@ -144,6 +182,10 @@ void FaultInjector::snapshot_state(SnapshotWriter& w) const {
   w.put_i64(stats_.msis_dropped);
   w.put_i64(stats_.worker_stalls);
   w.put_i64(stats_.spurious_irqs);
+  w.put_i64(stats_.desc_corruptions);
+  w.put_i64(stats_.avail_tears);
+  w.put_i64(stats_.handler_wedges);
+  w.put_i64(stats_.worker_crashes);
 }
 
 }  // namespace es2

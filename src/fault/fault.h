@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "apic/vectors.h"
 #include "base/log.h"
@@ -64,10 +65,35 @@ struct FaultPlan {
   /// tested VM with this period.
   SimDuration spurious_irq_period = 0;
 
+  // --- virtio lifecycle faults ---------------------------------------------
+  // Period-based (not probabilistic): each armed mode fires on its own
+  // deterministic PeriodicTimer and draws no RNG, so fault-instance counts
+  // are exact for MTTR accounting and arming a new mode never shifts the
+  // shared `fault` stream the probabilistic modes consume.
+  /// > 0: corrupt ring state with this period, rotating deterministically
+  /// through descriptor-out-of-range, duplicate in-flight head and
+  /// used-ring overrun, alternating TX/RX.
+  SimDuration desc_corrupt_period = 0;
+  /// > 0: torn avail-idx write (index jumps beyond the ring size).
+  SimDuration avail_tear_period = 0;
+  /// > 0: wedge a backend handler — it keeps eating activations without
+  /// making progress until a queue/device reset clears it.
+  SimDuration handler_wedge_period = 0;
+  /// > 0: crash the vhost worker (queued activations lost), restarting it
+  /// after `worker_restart_delay`.
+  SimDuration worker_crash_period = 0;
+  SimDuration worker_restart_delay = usec(500);
+
+  bool lifecycle_enabled() const {
+    return desc_corrupt_period > 0 || avail_tear_period > 0 ||
+           handler_wedge_period > 0 || worker_crash_period > 0;
+  }
+
   bool enabled() const {
     return link_loss > 0 || link_burst.enabled() || link_reorder > 0 ||
            link_duplicate > 0 || kick_loss > 0 || kick_delay_prob > 0 ||
-           msi_loss > 0 || worker_stall_prob > 0 || spurious_irq_period > 0;
+           msi_loss > 0 || worker_stall_prob > 0 || spurious_irq_period > 0 ||
+           lifecycle_enabled();
   }
 };
 
@@ -81,6 +107,20 @@ struct FaultStats {
   std::int64_t msis_dropped = 0;
   std::int64_t worker_stalls = 0;
   std::int64_t spurious_irqs = 0;
+  std::int64_t desc_corruptions = 0;
+  std::int64_t avail_tears = 0;
+  std::int64_t handler_wedges = 0;
+  std::int64_t worker_crashes = 0;
+};
+
+/// Injection entry points for the lifecycle fault modes, provided by the
+/// harness (the injector cannot depend on the virtio layer). Each fires
+/// one fault instance; target rotation lives behind the callback.
+struct LifecycleHooks {
+  std::function<void()> corrupt_ring;   // desc_corrupt_period
+  std::function<void()> tear_avail;     // avail_tear_period
+  std::function<void()> wedge_handler;  // handler_wedge_period
+  std::function<void()> crash_worker;   // worker_crash_period
 };
 
 /// The vector used for injected spurious interrupts: top of the device
@@ -118,6 +158,12 @@ class FaultInjector : public Snapshottable {
   void start_spurious(std::function<void()> fire);
   void stop_spurious();
 
+  /// Arms one PeriodicTimer per enabled lifecycle mode. The periods are
+  /// plan-configured and RNG-free, so same-seed runs inject identically
+  /// and modes compose without perturbing each other.
+  void start_lifecycle(LifecycleHooks hooks);
+  void stop_lifecycle();
+
   /// Registers fired-fault counters plus the injector's suppressed-log
   /// count as probes.
   void register_metrics(MetricsRegistry& registry);
@@ -134,6 +180,7 @@ class FaultInjector : public Snapshottable {
   bool burst_bad_ = false;  // Gilbert–Elliott state
   LogRateLimiter warn_limit_;
   std::unique_ptr<PeriodicTimer> spurious_timer_;
+  std::vector<std::unique_ptr<PeriodicTimer>> lifecycle_timers_;
 };
 
 }  // namespace es2

@@ -53,6 +53,22 @@ struct GuestParams {
   /// Watchdog handler cost when it actually re-kicks (ndo_tx_timeout path).
   Cycles tx_watchdog_rekick = 2500;
 
+  // --- device lifecycle recovery ladder -------------------------------------
+  /// Arms the guest half of the recovery ladder, driven from the same timer
+  /// tick as the TX watchdog: when the device flags DEVICE_NEEDS_RESET the
+  /// driver resets the quarantined queue(s); a dual-queue quarantine or a
+  /// queue that keeps coming back quarantined escalates to a full device
+  /// reset + feature renegotiation. Off by default so every existing
+  /// scenario (including chaos, which relies on the PR-2 watchdog behaviour
+  /// alone) keeps bit-identical schedules.
+  bool recovery_ladder = false;
+  /// Queue resets on the same queue within one DEVICE_NEEDS_RESET episode
+  /// before the ladder escalates to a full device reset.
+  int ladder_device_reset_after = 2;
+  Cycles queue_reset_cost = 20000;   // virtqueue teardown + re-init
+  Cycles device_reset_cost = 60000;  // full virtio_device_reset path
+  Cycles renegotiate_cost = 15000;   // feature negotiation + vq re-setup
+
   // --- misc ----------------------------------------------------------------
   Cycles rx_refill_per_buffer = 300;
   /// Multiplicative per-work-unit cost jitter (uniform +/- fraction):

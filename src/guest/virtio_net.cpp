@@ -1,6 +1,7 @@
 #include "guest/virtio_net.h"
 
 #include "base/assert.h"
+#include "fault/recovery.h"
 #include "guest/guest_os.h"
 #include "metrics/metrics.h"
 #include "trace/hooks.h"
@@ -9,6 +10,12 @@ namespace es2 {
 
 VirtioNetFrontend::VirtioNetFrontend(GuestOs& os, VhostNetBackend& backend)
     : os_(os), backend_(backend) {
+  // Real virtio bring-up through the status register: reset, negotiate,
+  // queue setup, DRIVER_OK. The backend boots pre-negotiated (for
+  // directly-constructed test rings); this sequence rebuilds the identical
+  // end state the proper way.
+  backend_.write_status(0);
+  negotiate();
   // Driver initialization: pre-post the whole receive ring, run TX with
   // completion interrupts off (Linux virtio-net frees old skbs inline) and
   // RX interrupts on. Refill notifications start disabled host-side.
@@ -19,7 +26,27 @@ VirtioNetFrontend::VirtioNetFrontend(GuestOs& os, VhostNetBackend& backend)
   }
   rx.disable_notifications();
   backend_.tx_vq().disable_interrupts();
+  backend_.write_status(kStatusAcknowledge | kStatusDriver |
+                        kStatusFeaturesOk | kStatusDriverOk);
   os.attach_netdev(*this);
+}
+
+void VirtioNetFrontend::negotiate() {
+  backend_.write_status(kStatusAcknowledge);
+  backend_.write_status(kStatusAcknowledge | kStatusDriver);
+  const bool ok = backend_.ack_features(backend_.features_offered());
+  ES2_CHECK_MSG(ok, "device rejected its own feature offer");
+  backend_.write_status(kStatusAcknowledge | kStatusDriver |
+                        kStatusFeaturesOk);
+  backend_.enable_queue(0, true);
+  backend_.enable_queue(1, true);
+}
+
+void VirtioNetFrontend::wake_tx_waiters() {
+  if (tx_waiters_.empty()) return;
+  auto waiters = std::move(tx_waiters_);
+  tx_waiters_.clear();
+  for (GuestTask* task : waiters) task->wake();
 }
 
 bool VirtioNetFrontend::owns_vector(Vector v) const {
@@ -261,72 +288,161 @@ void VirtioNetFrontend::tx_watchdog_tick(Vcpu& vcpu,
                           backend_.rx_vq().interrupts_enabled() &&
                           !napi_scheduled_;
   rx_watchdog_last_polled_ = rx_polled_;
-  if (!os_.params().tx_watchdog) {
-    watchdog_strikes_ = 0;
-    rx_watchdog_strikes_ = 0;
-    done();
-    return;
-  }
 
-  // Second half of the tick: recover a lost RX interrupt by running the
-  // NAPI pass it would have started. Same two-strike debounce as TX — an
-  // MSI legitimately in flight at sampling time never trips it.
-  auto rx_stage = [this, &vcpu, rx_stalled,
-                   done = std::move(done)]() mutable {
-    if (!rx_stalled) {
+  // The watchdog halves run after the (usually pass-through) recovery-
+  // ladder stage; a quarantined queue needs a reset, not a re-kick.
+  auto watchdog_stage = [this, &vcpu, tx_stalled, rx_stalled,
+                         done = std::move(done)]() mutable {
+    if (!os_.params().tx_watchdog) {
+      watchdog_strikes_ = 0;
       rx_watchdog_strikes_ = 0;
       done();
       return;
     }
-    if (++rx_watchdog_strikes_ < 2) {
-      done();
+
+    // Second half of the tick: recover a lost RX interrupt by running the
+    // NAPI pass it would have started. Same two-strike debounce as TX — an
+    // MSI legitimately in flight at sampling time never trips it.
+    auto rx_stage = [this, &vcpu, rx_stalled,
+                     done = std::move(done)]() mutable {
+      if (!rx_stalled) {
+        rx_watchdog_strikes_ = 0;
+        done();
+        return;
+      }
+      if (++rx_watchdog_strikes_ < 2) {
+        done();
+        return;
+      }
+      rx_watchdog_strikes_ = 0;
+      ++rx_watchdog_polls_;
+      if (RecoveryLog* log = backend_.recovery_log()) {
+        log->note_action(RecoveryRung::kGuestWatchdog, kScopeRx);
+      }
+#if ES2_TRACE_ENABLED
+      if (Tracer* tr = active_tracer(vcpu.vm().host().sim())) {
+        tr->emit(vcpu.vm().host().sim().now(), TraceKind::kWatchdogRecover,
+                 vcpu.vm().id(), vcpu.index(), -1, /*arg=*/1);
+      }
+#endif
+      backend_.rx_vq().disable_interrupts();
+      backend_.tx_vq().disable_interrupts();
+      napi_scheduled_ = true;
+      vcpu.guest_exec(os_.params().softirq_entry,
+                      [this, &vcpu, done = std::move(done)]() mutable {
+                        napi_poll(vcpu,
+                                  [this, done = std::move(done)]() mutable {
+                                    napi_scheduled_ = false;
+                                    done();
+                                  });
+                      });
+    };
+
+    if (!tx_stalled) {
+      watchdog_strikes_ = 0;
+      rx_stage();
       return;
     }
-    rx_watchdog_strikes_ = 0;
-    ++rx_watchdog_polls_;
+    if (++watchdog_strikes_ < 2) {
+      rx_stage();
+      return;
+    }
+    // Two full tick periods without progress: ndo_tx_timeout. Re-kick.
+    watchdog_strikes_ = 0;
+    ++tx_watchdog_kicks_;
+    ++kicks_;
+    if (RecoveryLog* log = backend_.recovery_log()) {
+      log->note_action(RecoveryRung::kGuestWatchdog, kScopeTx);
+    }
 #if ES2_TRACE_ENABLED
     if (Tracer* tr = active_tracer(vcpu.vm().host().sim())) {
       tr->emit(vcpu.vm().host().sim().now(), TraceKind::kWatchdogRecover,
-               vcpu.vm().id(), vcpu.index(), -1, /*arg=*/1);
+               vcpu.vm().id(), vcpu.index(), -1, /*arg=*/0);
     }
 #endif
-    backend_.rx_vq().disable_interrupts();
-    backend_.tx_vq().disable_interrupts();
-    napi_scheduled_ = true;
-    vcpu.guest_exec(os_.params().softirq_entry,
-                    [this, &vcpu, done = std::move(done)]() mutable {
-                      napi_poll(vcpu,
-                                [this, done = std::move(done)]() mutable {
-                                  napi_scheduled_ = false;
-                                  done();
-                                });
+    vcpu.guest_exec(os_.params().tx_watchdog_rekick,
+                    [this, &vcpu, rx_stage = std::move(rx_stage)]() mutable {
+                      vcpu.guest_io_kick([this] { backend_.notify_tx(); },
+                                         std::move(rx_stage));
                     });
   };
+  ladder_stage(vcpu, std::move(watchdog_stage));
+}
 
-  if (!tx_stalled) {
-    watchdog_strikes_ = 0;
-    rx_stage();
+void VirtioNetFrontend::ladder_stage(Vcpu& vcpu, std::function<void()> done) {
+  const GuestParams& p = os_.params();
+  if (!p.recovery_ladder) {
+    done();
     return;
   }
-  if (++watchdog_strikes_ < 2) {
-    rx_stage();
+  if (!backend_.needs_reset()) {
+    // Healthy (or recovered): the episode is over, escalation state decays.
+    ladder_recent_[0] = 0;
+    ladder_recent_[1] = 0;
+    done();
     return;
   }
-  // Two full tick periods without progress: ndo_tx_timeout. Re-kick.
-  watchdog_strikes_ = 0;
-  ++tx_watchdog_kicks_;
-  ++kicks_;
-#if ES2_TRACE_ENABLED
-  if (Tracer* tr = active_tracer(vcpu.vm().host().sim())) {
-    tr->emit(vcpu.vm().host().sim().now(), TraceKind::kWatchdogRecover,
-             vcpu.vm().id(), vcpu.index(), -1, /*arg=*/0);
+  const bool q0 = backend_.queue(0).pending_fault() != RingFault::kNone;
+  const bool q1 = backend_.queue(1).pending_fault() != RingFault::kNone;
+  if ((q0 && q1) || (!q0 && !q1) ||
+      ladder_recent_[0] >= p.ladder_device_reset_after ||
+      ladder_recent_[1] >= p.ladder_device_reset_after) {
+    // Device-wide damage (both queues quarantined, or NEEDS_RESET with no
+    // queue-level diagnosis) or a queue that keeps coming back: top rung.
+    guest_reset_device(vcpu, std::move(done));
+    return;
   }
-#endif
-  vcpu.guest_exec(os_.params().tx_watchdog_rekick,
-                  [this, &vcpu, rx_stage = std::move(rx_stage)]() mutable {
-                    vcpu.guest_io_kick([this] { backend_.notify_tx(); },
-                                       std::move(rx_stage));
-                  });
+  const int q = q0 ? 0 : 1;
+  ++ladder_recent_[q];
+  guest_reset_queue(vcpu, q, std::move(done));
+}
+
+void VirtioNetFrontend::guest_reset_queue(Vcpu& vcpu, int q,
+                                          std::function<void()> done) {
+  ++ladder_queue_resets_;
+  vcpu.guest_exec(os_.params().queue_reset_cost,
+                  [this, &vcpu, q, done = std::move(done)]() mutable {
+    backend_.reset_queue(q);
+    if (q == 0) {
+      // Fresh TX ring: boot suppression state, blocked senders retry into
+      // it (their in-flight descriptors are gone; TCP retransmit covers
+      // the lost segments).
+      backend_.tx_vq().disable_interrupts();
+      watchdog_last_used_ = 0;
+      watchdog_strikes_ = 0;
+      wake_tx_waiters();
+      done();
+      return;
+    }
+    // Fresh RX ring: re-post every buffer; the ring's notifications come
+    // back enabled, so the refill kicks the backend into draining the
+    // socket backlog that piled up during the quarantine.
+    rx_watchdog_strikes_ = 0;
+    refill_rx(vcpu, std::move(done));
+  });
+}
+
+void VirtioNetFrontend::guest_reset_device(Vcpu& vcpu,
+                                           std::function<void()> done) {
+  ++ladder_device_resets_;
+  ladder_recent_[0] = 0;
+  ladder_recent_[1] = 0;
+  vcpu.guest_exec(os_.params().device_reset_cost,
+                  [this, &vcpu, done = std::move(done)]() mutable {
+    backend_.write_status(0);
+    negotiate();
+    vcpu.guest_exec(os_.params().renegotiate_cost,
+                    [this, &vcpu, done = std::move(done)]() mutable {
+      backend_.tx_vq().disable_interrupts();
+      backend_.write_status(kStatusAcknowledge | kStatusDriver |
+                            kStatusFeaturesOk | kStatusDriverOk);
+      watchdog_last_used_ = 0;
+      watchdog_strikes_ = 0;
+      rx_watchdog_strikes_ = 0;
+      wake_tx_waiters();
+      refill_rx(vcpu, std::move(done));
+    });
+  });
 }
 
 void VirtioNetFrontend::add_tx_waiter(GuestTask& task) {
@@ -353,6 +469,28 @@ void VirtioNetFrontend::register_metrics(MetricsRegistry& registry) {
   registry.probe("guest.net.rx_watchdog_polls", labels, [this] {
     return static_cast<double>(rx_watchdog_polls_);
   });
+}
+
+void VirtioNetFrontend::register_lifecycle_metrics(MetricsRegistry& registry) {
+  const std::string vm = os_.vm().name();
+  registry.probe("recovery.watchdog", {{"vm", vm}, {"cause", "tx_rekick"}},
+                 [this] { return static_cast<double>(tx_watchdog_kicks_); });
+  registry.probe("recovery.watchdog", {{"vm", vm}, {"cause", "napi_poll"}},
+                 [this] { return static_cast<double>(rx_watchdog_polls_); });
+  MetricLabels labels = {{"vm", vm}};
+  registry.probe("guest.net.ladder_queue_resets", labels, [this] {
+    return static_cast<double>(ladder_queue_resets_);
+  });
+  registry.probe("guest.net.ladder_device_resets", labels, [this] {
+    return static_cast<double>(ladder_device_resets_);
+  });
+}
+
+void VirtioNetFrontend::snapshot_lifecycle_state(SnapshotWriter& w) const {
+  w.put_u32(static_cast<std::uint32_t>(ladder_recent_[0]));
+  w.put_u32(static_cast<std::uint32_t>(ladder_recent_[1]));
+  w.put_i64(ladder_queue_resets_);
+  w.put_i64(ladder_device_resets_);
 }
 
 void VirtioNetFrontend::snapshot_state(SnapshotWriter& w) const {

@@ -59,6 +59,11 @@ class VirtioNetFrontend {
   /// healthy paths it is a pure state check.
   void tx_watchdog_tick(Vcpu& vcpu, std::function<void()> done);
 
+  /// Guest halves of the recovery ladder (GuestParams::recovery_ladder):
+  /// queue resets and full device resets initiated by the driver.
+  std::int64_t ladder_queue_resets() const { return ladder_queue_resets_; }
+  std::int64_t ladder_device_resets() const { return ladder_device_resets_; }
+
   std::int64_t tx_queue_stops() const { return tx_stops_; }
   std::int64_t rx_polled() const { return rx_polled_; }
   std::int64_t kicks() const { return kicks_; }
@@ -77,7 +82,29 @@ class VirtioNetFrontend {
   /// Embedded in the owning GuestOs's snapshot section.
   void snapshot_state(SnapshotWriter& w) const;
 
+  /// Per-cause watchdog recovery counters (tx_rekick / napi_poll) plus the
+  /// ladder counters; registered by the harness only when lifecycle faults
+  /// are armed so the frozen instrument set stays unchanged elsewhere.
+  void register_lifecycle_metrics(MetricsRegistry& registry);
+
+  /// Serializes ladder state. Separate from snapshot_state (which is
+  /// embedded in the GuestOs section) so faults-off images keep their
+  /// exact byte layout; registered as its own section when lifecycle
+  /// faults are armed.
+  void snapshot_lifecycle_state(SnapshotWriter& w) const;
+
  private:
+  /// Status-register bring-up shared by the constructor and the device-
+  /// reset rung: ACKNOWLEDGE -> DRIVER -> feature ack -> FEATURES_OK ->
+  /// queue enable. DRIVER_OK is written by the caller once rings are set
+  /// up.
+  void negotiate();
+  /// Recovery-ladder stage of the watchdog tick (no-op unless
+  /// GuestParams::recovery_ladder and DEVICE_NEEDS_RESET).
+  void ladder_stage(Vcpu& vcpu, std::function<void()> done);
+  void guest_reset_queue(Vcpu& vcpu, int q, std::function<void()> done);
+  void guest_reset_device(Vcpu& vcpu, std::function<void()> done);
+  void wake_tx_waiters();
   void napi_poll(Vcpu& vcpu, std::function<void()> done);
   void napi_poll_one(Vcpu& vcpu, int budget_left, std::function<void()> done);
   void finish_poll(Vcpu& vcpu, std::function<void()> done);
@@ -101,6 +128,12 @@ class VirtioNetFrontend {
   std::int64_t rx_watchdog_last_polled_ = 0;
   int rx_watchdog_strikes_ = 0;
   std::int64_t rx_watchdog_polls_ = 0;
+  // Recovery-ladder state (snapshot via snapshot_lifecycle_state only):
+  // queue resets performed per queue within the current DEVICE_NEEDS_RESET
+  // episode (decays once the device reports healthy again).
+  int ladder_recent_[2] = {0, 0};
+  std::int64_t ladder_queue_resets_ = 0;
+  std::int64_t ladder_device_resets_ = 0;
 };
 
 }  // namespace es2

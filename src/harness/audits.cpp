@@ -5,11 +5,30 @@
 namespace es2::audits {
 
 InvariantAuditor::Check virtqueue_check(const Virtqueue& vq) {
-  return [&vq, prev_added = std::int64_t{0},
-          prev_used = std::int64_t{0}]() mutable
+  return [&vq, prev_added = std::int64_t{0}, prev_used = std::int64_t{0},
+          prev_epoch = std::int64_t{0}]() mutable
              -> std::optional<std::string> {
     const std::int64_t added = vq.total_added();
     const std::int64_t used = vq.total_used();
+    // A queue/device reset legitimately rewinds both indices to zero;
+    // resync the monotonicity baselines and skip this sweep.
+    if (vq.reset_epoch() != prev_epoch) {
+      prev_epoch = vq.reset_epoch();
+      prev_added = added;
+      prev_used = used;
+      return std::nullopt;
+    }
+    // An injected (or already-quarantined) ring fault violates the
+    // accounting invariants by construction — that is the integrity
+    // checker's jurisdiction, and double-reporting it here would turn
+    // every recovery drill into an audit failure. Keep the baselines
+    // moving so the post-reset sweep doesn't see a phantom rewind.
+    if (vq.pending_fault() != RingFault::kNone ||
+        vq.check_integrity() != RingFault::kNone) {
+      prev_added = added;
+      prev_used = used;
+      return std::nullopt;
+    }
     std::optional<std::string> result;
     if (added < prev_added) {
       result = format("%s: avail index moved backwards (%lld -> %lld)",
@@ -36,6 +55,27 @@ InvariantAuditor::Check virtqueue_check(const Virtqueue& vq) {
     prev_added = added;
     prev_used = used;
     return result;
+  };
+}
+
+InvariantAuditor::Check device_lifecycle_check(const VhostNetBackend& backend) {
+  return [&backend, stuck_sweeps = 0,
+          prev_resets = std::int64_t{0}]() mutable
+             -> std::optional<std::string> {
+    const std::int64_t resets =
+        backend.queue_resets() + backend.device_resets();
+    const bool progressing = resets != prev_resets;
+    prev_resets = resets;
+    if (!backend.needs_reset() || progressing) {
+      stuck_sweeps = 0;
+      return std::nullopt;
+    }
+    if (++stuck_sweeps < kNeedsResetStuckSweeps) return std::nullopt;
+    return format(
+        "device stuck in DEVICE_NEEDS_RESET for %d audit sweeps "
+        "(status 0x%02x, %lld ring fault(s) detected, no reset forthcoming)",
+        stuck_sweeps, backend.device_status(),
+        static_cast<long long>(backend.ring_faults_detected()));
   };
 }
 
@@ -92,6 +132,7 @@ void register_standard_checks(InvariantAuditor& auditor, Vm& vm,
                     virtqueue_check(backend.tx_vq()));
   auditor.add_check("vq/" + backend.rx_vq().name(),
                     virtqueue_check(backend.rx_vq()));
+  auditor.add_check("lifecycle/" + vm.name(), device_lifecycle_check(backend));
   for (int i = 0; i < vm.num_vcpus(); ++i) {
     auditor.add_check(format("lapic/vcpu%d", i), lapic_check(vm.vcpu(i)));
     auditor.add_check(format("pi/vcpu%d", i),

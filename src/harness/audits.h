@@ -18,7 +18,18 @@ namespace es2::audits {
 
 /// Virtqueue accounting: avail/used indices monotone, used never overtakes
 /// avail, in-flight non-negative, and total occupancy within capacity.
+/// Lifecycle-aware: a reset resyncs the monotonicity baselines, and a
+/// quarantined (or injected-but-undetected) ring fault is skipped — the
+/// integrity checker owns that report.
 InvariantAuditor::Check virtqueue_check(const Virtqueue& vq);
+
+/// Silent-wedge detector: the device may flag DEVICE_NEEDS_RESET, but a
+/// recovery rung must then act on it. If the status bit persists this many
+/// consecutive audit sweeps with no queue/device reset occurring, the run
+/// is wedged-but-quiet — exactly the failure mode the recovery ladder
+/// exists to rule out — and the auditor reports it structurally.
+inline constexpr int kNeedsResetStuckSweeps = 64;
+InvariantAuditor::Check device_lifecycle_check(const VhostNetBackend& backend);
 
 /// Emulated-LAPIC consistency: with nothing in service, any pending vector
 /// must be deliverable (priority masking can only come from the ISR).

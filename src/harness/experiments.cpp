@@ -1,5 +1,7 @@
 #include "harness/experiments.h"
 
+#include <array>
+#include <functional>
 #include <memory>
 
 #include "apps/httpd.h"
@@ -260,8 +262,10 @@ StreamResult run_stream(const StreamOptions& opts) {
   return result;
 }
 
-ChaosStreamResult run_chaos_stream(const ChaosStreamOptions& opts,
-                                   const std::string& name) {
+namespace {
+
+/// TestbedOptions for a supervised (chaos/recovery) stream run.
+TestbedOptions chaos_testbed_options(const ChaosStreamOptions& opts) {
   TestbedOptions to =
       testbed_options(opts.stream.config, opts.stream.macro, opts.stream.seed);
   to.faults = opts.faults;
@@ -271,17 +275,18 @@ ChaosStreamResult run_chaos_stream(const ChaosStreamOptions& opts,
   to.trace = opts.stream.trace;
   to.metrics = opts.stream.metrics;
   to.snapshot = opts.stream.snapshot;
-  Testbed tb(to);
-  if (opts.stream.quota_override > 0) {
-    HybridIoHandling::attach(tb.backend(), opts.stream.quota_override);
-  }
-  StreamOptions stream_opts = opts.stream;
-  if (stream_opts.dupack_threshold == 0) {
-    stream_opts.dupack_threshold = opts.dupack_threshold;
-  }
-  StreamWorkload w;
-  w.attach(tb, stream_opts);
+  return to;
+}
 
+/// The supervised-run body shared by chaos and recovery streams. `drain`
+/// extends the run past the measured window (after calling `on_drain`,
+/// which the recovery runner uses to stop injection) — still under the
+/// watchdog, so even a wedged drain cannot hang. The measurement window
+/// closes before the drain starts; drains never dilute throughput.
+ChaosStreamResult supervise_stream(Testbed& tb, StreamWorkload& w,
+                                   const ChaosStreamOptions& opts,
+                                   const std::string& name, SimDuration drain,
+                                   const std::function<void()>& on_drain) {
   tb.start();
   w.start_sources();
 
@@ -306,6 +311,12 @@ ChaosStreamResult run_chaos_stream(const ChaosStreamOptions& opts,
     result.stream.link_dropped = static_cast<std::int64_t>(
         tb.vm_to_peer().packets_dropped() + tb.peer_to_vm().packets_dropped());
   }
+
+  if (drain > 0) {
+    if (on_drain) on_drain();
+    wd.run_for(drain, progress);
+  }
+
   if (tb.faults() != nullptr) result.faults = tb.faults()->stats();
   for (auto& s : w.peer_tx) {
     result.fast_retransmits += s->fast_retransmits();
@@ -328,6 +339,122 @@ ChaosStreamResult run_chaos_stream(const ChaosStreamOptions& opts,
   if (!result.report.ok()) {
     result.report.telemetry = result.stream.metrics->top_deltas;
   }
+  return result;
+}
+
+}  // namespace
+
+ChaosStreamResult run_chaos_stream(const ChaosStreamOptions& opts,
+                                   const std::string& name) {
+  Testbed tb(chaos_testbed_options(opts));
+  if (opts.stream.quota_override > 0) {
+    HybridIoHandling::attach(tb.backend(), opts.stream.quota_override);
+  }
+  StreamOptions stream_opts = opts.stream;
+  if (stream_opts.dupack_threshold == 0) {
+    stream_opts.dupack_threshold = opts.dupack_threshold;
+  }
+  StreamWorkload w;
+  w.attach(tb, stream_opts);
+  return supervise_stream(tb, w, opts, name, /*drain=*/0, nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Recovery streams
+// ---------------------------------------------------------------------------
+
+namespace {
+
+const char* scope_name(int scope) {
+  switch (scope) {
+    case kScopeTx: return "tx";
+    case kScopeRx: return "rx";
+    case kScopeWorker: return "worker";
+  }
+  return "?";
+}
+
+}  // namespace
+
+RecoveryStreamResult run_recovery_stream(const RecoveryStreamOptions& opts,
+                                         const std::string& name) {
+  const ChaosStreamOptions& co = opts.chaos;
+  TestbedOptions to = chaos_testbed_options(co);
+  to.guest_params.recovery_ladder = opts.recovery_ladder;
+  Testbed tb(to);
+  if (co.stream.quota_override > 0) {
+    HybridIoHandling::attach(tb.backend(), co.stream.quota_override);
+  }
+  StreamOptions stream_opts = co.stream;
+  if (stream_opts.dupack_threshold == 0) {
+    stream_opts.dupack_threshold = co.dupack_threshold;
+  }
+  StreamWorkload w;
+  w.attach(tb, stream_opts);
+
+  RecoveryStreamResult result;
+  result.chaos = supervise_stream(tb, w, co, name, opts.drain, [&tb] {
+    if (tb.faults() != nullptr) tb.faults()->stop_lifecycle();
+  });
+
+  if (const RecoveryLog* log = tb.recovery_log()) {
+    Histogram all;
+    std::array<Histogram, static_cast<std::size_t>(LifecycleFault::kCount)>
+        per_mode;
+    result.injected = static_cast<std::int64_t>(log->instances().size());
+    for (const FaultInstance& fi : log->instances()) {
+      const auto m = static_cast<std::size_t>(fi.mode);
+      if (fi.recovered()) {
+        ++result.recovered;
+        all.record(fi.mttr());
+        per_mode[m].record(fi.mttr());
+        continue;
+      }
+      ++result.unrecovered;
+      WedgeReport wr;
+      wr.instance = fi.id;
+      wr.mode = fi.mode;
+      wr.scope = fi.scope;
+      wr.injected_at = fi.injected_at;
+      wr.open_for = tb.sim().now() - fi.injected_at;
+      wr.corr = fi.corr;
+      wr.detail = format(
+          "WATCHDOG %s: %s fault #%lld (scope %s, corr %llu) injected at "
+          "%lld ns still open after %lld ns — no recovery rung cleared it",
+          name.c_str(), lifecycle_fault_name(fi.mode),
+          static_cast<long long>(fi.id), scope_name(fi.scope),
+          static_cast<unsigned long long>(fi.corr),
+          static_cast<long long>(fi.injected_at),
+          static_cast<long long>(wr.open_for));
+      result.wedges.push_back(std::move(wr));
+    }
+    result.mttr_p50 = all.p50();
+    result.mttr_p99 = all.p99();
+    for (std::size_t m = 0;
+         m < static_cast<std::size_t>(LifecycleFault::kCount); ++m) {
+      const auto mode = static_cast<LifecycleFault>(m);
+      if (log->injected(mode) == 0) continue;
+      RecoveryModeStats ms;
+      ms.mode = mode;
+      ms.injected = log->injected(mode);
+      ms.recovered = log->recovered(mode);
+      ms.mttr_p50 = per_mode[m].p50();
+      ms.mttr_p99 = per_mode[m].p99();
+      result.modes.push_back(ms);
+    }
+    result.rung_watchdog = log->actions(RecoveryRung::kGuestWatchdog);
+    result.rung_vhost_repoll = log->actions(RecoveryRung::kVhostRepoll);
+    result.rung_queue_reset = log->actions(RecoveryRung::kQueueReset);
+    result.rung_device_reset = log->actions(RecoveryRung::kDeviceReset);
+  }
+  result.ring_faults_detected = tb.backend().ring_faults_detected();
+  result.queue_resets = tb.backend().queue_resets();
+  result.device_resets = tb.backend().device_resets();
+  result.renegotiations = tb.backend().renegotiations();
+  result.ladder_queue_resets = tb.frontend().ladder_queue_resets();
+  result.ladder_device_resets = tb.frontend().ladder_device_resets();
+  result.worker_crashes = tb.vhost_worker().crashes();
+  result.worker_restarts = tb.vhost_worker().restarts();
   return result;
 }
 

@@ -184,6 +184,87 @@ ChaosStreamResult run_chaos_stream(const ChaosStreamOptions& opts,
                                    const std::string& name = "chaos");
 
 // ---------------------------------------------------------------------------
+// Recovery streams: lifecycle faults, the recovery ladder, MTTR accounting
+// ---------------------------------------------------------------------------
+
+/// Per-fault-mode recovery outcome (the bench_recovery rows).
+struct RecoveryModeStats {
+  LifecycleFault mode = LifecycleFault::kDescCorrupt;
+  std::int64_t injected = 0;
+  std::int64_t recovered = 0;
+  SimDuration mttr_p50 = 0;  // sim-ns over recovered instances
+  SimDuration mttr_p99 = 0;
+};
+
+/// Structured escalation of a fault instance still open at scenario end —
+/// the "silent wedge" made loud. Carries the trace correlation id so the
+/// stuck journey can be pulled straight out of a Perfetto export.
+struct WedgeReport {
+  std::int64_t instance = 0;
+  LifecycleFault mode = LifecycleFault::kDescCorrupt;
+  int scope = kScopeTx;
+  SimTime injected_at = 0;
+  SimDuration open_for = 0;
+  std::uint64_t corr = 0;
+  /// One WATCHDOG-style line (mode, scope, correlation id, how long open).
+  std::string detail;
+};
+
+struct RecoveryStreamOptions {
+  /// The chaos substrate: topology, workload, fault plan (lifecycle
+  /// periods live in chaos.faults), watchdog budget, auditing.
+  ChaosStreamOptions chaos;
+  /// Arm the guest recovery ladder. Defaults on here — this runner exists
+  /// to measure it — while chaos baselines keep the ladder off.
+  bool recovery_ladder = true;
+  /// After the measured span, stop injecting and give still-open
+  /// instances this long to finish climbing the ladder before the ledger
+  /// is read. Separates end-of-run truncation from a genuine wedge.
+  SimDuration drain = msec(50);
+};
+
+struct RecoveryStreamResult {
+  ChaosStreamResult chaos;
+  // Ledger totals (every lifecycle fault instance ever opened).
+  std::int64_t injected = 0;
+  std::int64_t recovered = 0;
+  std::int64_t unrecovered = 0;
+  SimDuration mttr_p50 = 0;  // over recovered instances, all modes
+  SimDuration mttr_p99 = 0;
+  std::vector<RecoveryModeStats> modes;  // one entry per injected mode
+  // Ladder activity by rung (RecoveryLog action counts).
+  std::int64_t rung_watchdog = 0;
+  std::int64_t rung_vhost_repoll = 0;
+  std::int64_t rung_queue_reset = 0;
+  std::int64_t rung_device_reset = 0;
+  // Device-lifecycle counters. Resets/renegotiations include the boot
+  // negotiation (+1 each); the ladder_* pair counts recovery-driven ones.
+  std::int64_t ring_faults_detected = 0;
+  std::int64_t queue_resets = 0;
+  std::int64_t device_resets = 0;
+  std::int64_t renegotiations = 0;
+  std::int64_t ladder_queue_resets = 0;
+  std::int64_t ladder_device_resets = 0;
+  std::int64_t worker_crashes = 0;
+  std::int64_t worker_restarts = 0;
+  /// Structured reports for every unrecovered instance; empty == zero
+  /// silent wedges.
+  std::vector<WedgeReport> wedges;
+
+  /// The soak verdict: every injected fault either recovered in bounded
+  /// sim time or is loudly reported, and the scenario watchdog stayed
+  /// happy throughout.
+  bool clean() const { return wedges.empty() && chaos.report.ok(); }
+};
+
+/// run_chaos_stream plus the recovery machinery: lifecycle faults from
+/// the plan, the guest recovery ladder, and MTTR accounting harvested
+/// from the RecoveryLog before teardown. Injection stops after the
+/// measured span so the drain window races only the ladder.
+RecoveryStreamResult run_recovery_stream(const RecoveryStreamOptions& opts,
+                                         const std::string& name = "recovery");
+
+// ---------------------------------------------------------------------------
 // Ping RTT (Fig. 7)
 // ---------------------------------------------------------------------------
 

@@ -59,6 +59,24 @@ Testbed::Testbed(TestbedOptions options) : options_(std::move(options)) {
         next = (next + 1) % vm.num_vcpus();
       });
     }
+    if (o.faults.lifecycle_enabled()) {
+      recovery_log_ = std::make_unique<RecoveryLog>();
+      backend_->set_recovery_log(recovery_log_.get());
+      backend_->arm_lifecycle_selfcheck();
+      backend_->set_reset_listener([this] {
+        if (es2_->redirector() != nullptr) {
+          es2_->redirector()->on_device_reset(host_->vm(0));
+        }
+      });
+      LifecycleHooks hooks;
+      hooks.corrupt_ring = [this] { backend_->inject_ring_corruption(); };
+      hooks.tear_avail = [this] { backend_->inject_avail_tear(); };
+      hooks.wedge_handler = [this] { backend_->inject_handler_wedge(); };
+      hooks.crash_worker = [this] {
+        backend_->inject_worker_crash(options_.faults.worker_restart_delay);
+      };
+      faults_->start_lifecycle(std::move(hooks));
+    }
   }
 
   if (o.audit) {
@@ -97,6 +115,24 @@ Testbed::Testbed(TestbedOptions options) : options_(std::move(options)) {
   if (es2_->redirector())
     snapshotter_.add("es2.redirector", *es2_->redirector());
   if (faults_) snapshotter_.add("fault", *faults_);
+  if (recovery_log_) {
+    // Lifecycle side-sections: the base layout of every pre-existing
+    // section is untouched; these only exist when lifecycle faults are
+    // armed.
+    auto side = [this](std::string name, FnSnapshottable::Fn fn) {
+      lifecycle_sections_.push_back(
+          std::make_unique<FnSnapshottable>(std::move(fn)));
+      snapshotter_.add(std::move(name), *lifecycle_sections_.back());
+    };
+    side("vhost-worker/lifecycle",
+         [this](SnapshotWriter& w) { worker_->snapshot_lifecycle_state(w); });
+    side("vhost/vm0/lifecycle",
+         [this](SnapshotWriter& w) { backend_->snapshot_lifecycle_state(w); });
+    side("guest/vm0/net.lifecycle", [this](SnapshotWriter& w) {
+      frontend_->snapshot_lifecycle_state(w);
+    });
+    snapshotter_.add("recovery", *recovery_log_);
+  }
 
   register_all_metrics();
   if (o.metrics.enabled) {
@@ -143,6 +179,12 @@ void Testbed::register_all_metrics() {
   link_->a_to_b.register_metrics(registry_, "vm_to_peer");
   link_->b_to_a.register_metrics(registry_, "peer_to_vm");
   if (faults_) faults_->register_metrics(registry_);
+  if (recovery_log_) {
+    recovery_log_->register_metrics(registry_);
+    worker_->register_lifecycle_metrics(registry_);
+    backend_->register_lifecycle_metrics(registry_);
+    frontend_->register_lifecycle_metrics(registry_);
+  }
 
   // Epoch-hash position probes. Registered only when hashing is on, so a
   // hash-off registry snapshot is byte-identical to the pre-snapshot era.

@@ -19,6 +19,7 @@
 #include "apps/burn.h"
 #include "es2/es2.h"
 #include "fault/fault.h"
+#include "fault/recovery.h"
 #include "guest/guest_os.h"
 #include "guest/virtio_net.h"
 #include "metrics/metrics.h"
@@ -99,6 +100,9 @@ class Testbed {
   /// Null when the fault plan is empty / auditing is off.
   FaultInjector* faults() { return faults_.get(); }
   InvariantAuditor* auditor() { return auditor_.get(); }
+  /// Lifecycle-fault recovery ledger; null unless the fault plan arms a
+  /// lifecycle mode.
+  RecoveryLog* recovery_log() { return recovery_log_.get(); }
   /// Null unless options.trace.enabled.
   Tracer* tracer() { return tracer_.get(); }
 
@@ -139,6 +143,11 @@ class Testbed {
   std::unique_ptr<VirtioNetFrontend> frontend_;
   std::vector<std::unique_ptr<CpuBurnTask>> burn_tasks_;
   std::unique_ptr<FaultInjector> faults_;
+  std::unique_ptr<RecoveryLog> recovery_log_;
+  // Adapters exposing the lifecycle-only state of worker/backend/frontend
+  // as their own snapshot sections (registered only when lifecycle faults
+  // are armed, keeping the base section layout byte-identical).
+  std::vector<std::unique_ptr<FnSnapshottable>> lifecycle_sections_;
   std::unique_ptr<InvariantAuditor> auditor_;
   std::unique_ptr<Tracer> tracer_;
   WorldSnapshotter snapshotter_;

@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -60,6 +61,20 @@ class Snapshottable {
  public:
   virtual ~Snapshottable() = default;
   virtual void snapshot_state(SnapshotWriter& w) const = 0;
+};
+
+/// Adapts a serialization closure to the Snapshottable interface — used
+/// for optional side-sections (e.g. device-lifecycle state) that are
+/// registered only in the scenarios that arm them, so the base section
+/// layout of every existing world stays byte-identical.
+class FnSnapshottable : public Snapshottable {
+ public:
+  using Fn = std::function<void(SnapshotWriter&)>;
+  explicit FnSnapshottable(Fn fn) : fn_(std::move(fn)) {}
+  void snapshot_state(SnapshotWriter& w) const override { fn_(w); }
+
+ private:
+  Fn fn_;
 };
 
 /// Accumulates named sections of fixed-width little-endian fields.

@@ -29,6 +29,14 @@ const char* trace_kind_name(TraceKind kind) {
     case TraceKind::kNotifyDisable: return "notify_disable";
     case TraceKind::kNapiPoll: return "napi_poll";
     case TraceKind::kWatchdogRecover: return "watchdog_recover";
+    case TraceKind::kFaultInject: return "fault_inject";
+    case TraceKind::kRingFault: return "ring_fault";
+    case TraceKind::kQueueReset: return "queue_reset";
+    case TraceKind::kDeviceReset: return "device_reset";
+    case TraceKind::kRenegotiate: return "renegotiate";
+    case TraceKind::kWorkerCrash: return "worker_crash";
+    case TraceKind::kWorkerRestart: return "worker_restart";
+    case TraceKind::kRecovered: return "recovered";
     case TraceKind::kCount: break;
   }
   return "?";

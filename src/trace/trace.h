@@ -63,6 +63,14 @@ enum class TraceKind : std::uint8_t {
   kNotifyDisable,    // notifications/interrupts masked; arg: queue code
   kNapiPoll,         // guest NAPI poll pass starts
   kWatchdogRecover,  // netdev watchdog recovery; arg: 0=tx-rekick 1=rx-poll
+  kFaultInject,      // lifecycle fault injected; arg = LifecycleFault
+  kRingFault,        // ring-integrity fault detected; arg = RingFault
+  kQueueReset,       // single-queue reset+re-enable; arg: 0=tx 1=rx
+  kDeviceReset,      // full device reset (status -> 0)
+  kRenegotiate,      // renegotiation complete (DRIVER_OK); arg = feature bits
+  kWorkerCrash,      // vhost worker crashed; arg = restart delay (ns)
+  kWorkerRestart,    // vhost worker restarted
+  kRecovered,        // lifecycle fault recovered; arg = RecoveryRung
   kCount
 };
 

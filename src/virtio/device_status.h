@@ -1,0 +1,102 @@
+// Virtio device-status lifecycle (virtio 1.1 §2.1) and ring-fault taxonomy.
+//
+// The reproduction models the *negotiated* device lifecycle explicitly so
+// that reset/renegotiation is a first-class, traceable operation rather
+// than an implicit "the device always works" assumption: the guest driver
+// walks ACKNOWLEDGE -> DRIVER -> (feature negotiation) -> FEATURES_OK ->
+// (queue setup + per-queue enable) -> DRIVER_OK, and the device flags
+// DEVICE_NEEDS_RESET when ring-integrity checking finds corrupted shared
+// state instead of asserting or silently wedging. The recovery ladder
+// (guest watchdog -> vhost re-poll -> single-queue reset -> full device
+// reset-and-renegotiate) keys off these bits.
+#pragma once
+
+#include <cstdint>
+
+namespace es2 {
+
+// Device-status register bits, guest-written except kDeviceNeedsReset.
+inline constexpr std::uint8_t kStatusAcknowledge = 0x01;
+inline constexpr std::uint8_t kStatusDriver = 0x02;
+inline constexpr std::uint8_t kStatusDriverOk = 0x04;
+inline constexpr std::uint8_t kStatusFeaturesOk = 0x08;
+inline constexpr std::uint8_t kStatusDeviceNeedsReset = 0x40;
+inline constexpr std::uint8_t kStatusFailed = 0x80;
+
+// Feature bits the model negotiates. EVENT_IDX is the one with modeled
+// semantics (the suppression protocol in Virtqueue); the others exist so
+// negotiation has a real subset computation to get wrong/renegotiate.
+inline constexpr std::uint64_t kFeatureMrgRxBuf = 1ull << 15;
+inline constexpr std::uint64_t kFeatureEventIdx = 1ull << 29;  // RING_F_EVENT_IDX
+inline constexpr std::uint64_t kFeatureVersion1 = 1ull << 32;
+
+/// What ring-integrity checking found in a shared ring. Detection flags
+/// DEVICE_NEEDS_RESET; it never asserts, because at production scale a
+/// corrupted queue must be recoverable, not fatal.
+enum class RingFault : std::uint8_t {
+  kNone = 0,
+  kDescOutOfRange,   // descriptor index beyond ring capacity
+  kAvailIdxTorn,     // avail-idx jumped further than the ring allows
+  kUsedOverrun,      // used index overtook the posted descriptors
+  kDuplicateHead,    // a head handed out while still in flight
+  kHandlerWedge,     // backend handler eating activations without progress
+  kWorkerCrash,      // vhost worker died; queue orphaned until restart
+};
+
+inline const char* ring_fault_name(RingFault f) {
+  switch (f) {
+    case RingFault::kNone: return "none";
+    case RingFault::kDescOutOfRange: return "desc_out_of_range";
+    case RingFault::kAvailIdxTorn: return "avail_idx_torn";
+    case RingFault::kUsedOverrun: return "used_overrun";
+    case RingFault::kDuplicateHead: return "duplicate_head";
+    case RingFault::kHandlerWedge: return "handler_wedge";
+    case RingFault::kWorkerCrash: return "worker_crash";
+  }
+  return "?";
+}
+
+/// The injectable lifecycle fault modes (FaultPlan knobs). Descriptor
+/// corruption deterministically rotates through the three ring-corruption
+/// shapes so one knob exercises every detection path.
+enum class LifecycleFault : std::uint8_t {
+  kDescCorrupt = 0,
+  kAvailTear,
+  kHandlerWedge,
+  kWorkerCrash,
+  kCount,
+};
+
+inline const char* lifecycle_fault_name(LifecycleFault m) {
+  switch (m) {
+    case LifecycleFault::kDescCorrupt: return "desc_corrupt";
+    case LifecycleFault::kAvailTear: return "avail_tear";
+    case LifecycleFault::kHandlerWedge: return "handler_wedge";
+    case LifecycleFault::kWorkerCrash: return "worker_crash";
+    case LifecycleFault::kCount: break;
+  }
+  return "?";
+}
+
+/// Recovery-ladder rungs, in escalation order. Rungs 0/1 are the PR 2
+/// watchdogs (now metered per cause); rungs 2/3 are the lifecycle resets.
+enum class RecoveryRung : std::uint8_t {
+  kGuestWatchdog = 0,  // TX re-kick / NAPI missed-interrupt poll
+  kVhostRepoll,        // backend self-check re-poll / re-activate
+  kQueueReset,         // single-queue quiesce + reset + re-enable
+  kDeviceReset,        // full reset + renegotiate + re-post rings
+  kCount,
+};
+
+inline const char* recovery_rung_name(RecoveryRung r) {
+  switch (r) {
+    case RecoveryRung::kGuestWatchdog: return "guest_watchdog";
+    case RecoveryRung::kVhostRepoll: return "vhost_repoll";
+    case RecoveryRung::kQueueReset: return "queue_reset";
+    case RecoveryRung::kDeviceReset: return "device_reset";
+    case RecoveryRung::kCount: break;
+  }
+  return "?";
+}
+
+}  // namespace es2

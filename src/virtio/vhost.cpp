@@ -3,6 +3,7 @@
 #include "base/assert.h"
 #include "base/strings.h"
 #include "fault/fault.h"
+#include "fault/recovery.h"
 #include "metrics/metrics.h"
 #include "trace/hooks.h"
 
@@ -37,6 +38,7 @@ VhostWorker::VhostWorker(KvmHost& host, std::string name, int pinned_core,
 }
 
 void VhostWorker::activate(VqHandler& handler) {
+  if (crashed_) return;  // a dead worker's eventfd wakes nobody
   if (handler.queued_) return;
   handler.queued_ = true;
   active_.push_back(&handler);
@@ -51,6 +53,50 @@ void VhostWorker::activate(VqHandler& handler) {
 
 void VhostWorker::exec(Cycles cycles, std::function<void()> done) {
   thread_.exec(host_.costs().ns(cycles), std::move(done));
+}
+
+void VhostWorker::crash_and_restart(SimDuration restart_delay) {
+  if (crashed_) return;
+  ++crashes_;
+  crashed_ = true;
+  // The activation queue dies with the worker process; in-flight exec
+  // segments finish their current descriptor first (crash takes effect at
+  // the next dispatch boundary).
+  for (VqHandler* h : active_) h->queued_ = false;
+  active_.clear();
+#if ES2_TRACE_ENABLED
+  if (Tracer* tr = active_tracer(host_.sim())) {
+    tr->emit(host_.sim().now(), TraceKind::kWorkerCrash, -1, -1,
+             worker_core(*this),
+             static_cast<std::uint32_t>(restart_delay));
+  }
+#endif
+  restart_ = host_.sim().after(restart_delay, [this] {
+    crashed_ = false;
+    ++restarts_;
+#if ES2_TRACE_ENABLED
+    if (Tracer* tr = active_tracer(host_.sim())) {
+      tr->emit(host_.sim().now(), TraceKind::kWorkerRestart, -1, -1,
+               worker_core(*this));
+    }
+#endif
+  });
+}
+
+void VhostWorker::register_lifecycle_metrics(MetricsRegistry& registry) {
+  MetricLabels labels = {{"worker", thread_.name()}};
+  registry.probe("vhost.worker.crashes", labels, [this] {
+    return static_cast<double>(crashes_);
+  });
+  registry.probe("vhost.worker.restarts", labels, [this] {
+    return static_cast<double>(restarts_);
+  });
+}
+
+void VhostWorker::snapshot_lifecycle_state(SnapshotWriter& w) const {
+  w.put_bool(crashed_);
+  w.put_i64(crashes_);
+  w.put_i64(restarts_);
 }
 
 void VhostWorker::main_loop() {
@@ -133,6 +179,12 @@ class VhostNetBackend::TxHandler final : public VqHandler {
                worker_core(worker), /*arg=*/0, backend_.tx_kick_corr_);
     }
 #endif
+    // Lifecycle gate: a wedged/quarantined/disabled queue parks the turn
+    // (and runs the ring-integrity check on the way in).
+    if (!backend_.pre_service(0)) {
+      done(false);
+      return;
+    }
     // Algorithm 1 line 8-10: entering a turn disables guest notifications.
     if (backend_.tx_vq().notifications_enabled()) {
       backend_.tx_vq().disable_notifications();
@@ -178,12 +230,21 @@ class VhostNetBackend::TxHandler final : public VqHandler {
       return;
     }
     const Cycles cost = backend_.tx_cost(*entry);
-    worker.exec(cost, [this, &worker, entry = std::move(*entry),
+    const std::int64_t epoch = vq.reset_epoch();
+    worker.exec(cost, [this, &worker, epoch, entry = std::move(*entry),
                        done = std::move(done)]() mutable {
+      Virtqueue& vq = backend_.tx_vq();
+      if (vq.reset_epoch() != epoch) {
+        // The queue was reset mid-flight: this turn's view of the ring is
+        // stale and the descriptor is gone. The packet is dropped (the
+        // peer's TCP retransmit recovers it).
+        done(false);
+        return;
+      }
       backend_.tx_link_.transmit(entry.packet);
       ++backend_.tx_packets_;
-      Virtqueue& vq = backend_.tx_vq();
       vq.push_used(Virtqueue::Entry{nullptr, 0});
+      backend_.note_progress(kScopeTx);
       if (vq.interrupt_needed()) {
         ++backend_.tx_irqs_;
         backend_.raise_msi(backend_.tx_msi_);
@@ -222,6 +283,10 @@ class VhostNetBackend::RxHandler final : public VqHandler {
                worker_core(worker), /*arg=*/1, backend_.rx_kick_corr_);
     }
 #endif
+    if (!backend_.pre_service(1)) {
+      done(false);
+      return;
+    }
     if (backend_.rx_vq().notifications_enabled()) {
       backend_.rx_vq().disable_notifications();
 #if ES2_TRACE_ENABLED
@@ -274,13 +339,21 @@ class VhostNetBackend::RxHandler final : public VqHandler {
     PacketPtr packet = backend_.sock_buf_.front();
     backend_.sock_buf_.pop_front();
     const Cycles cost = backend_.rx_cost(packet);
-    worker.exec(cost, [this, &worker, packet = std::move(packet),
+    const std::int64_t epoch = vq.reset_epoch();
+    worker.exec(cost, [this, &worker, epoch, packet = std::move(packet),
                        done = std::move(done)]() mutable {
       Virtqueue& vq = backend_.rx_vq();
+      if (vq.reset_epoch() != epoch) {
+        // Reset raced the copy: the buffer this packet was headed for no
+        // longer exists. Drop it; the sender retransmits.
+        done(false);
+        return;
+      }
       auto buffer = vq.pop_avail();
       ES2_CHECK(buffer.has_value());
       ++backend_.rx_packets_;
       vq.push_used(Virtqueue::Entry{packet, packet->wire_size});
+      backend_.note_progress(kScopeRx);
       if (vq.interrupt_needed()) {
         ++backend_.rx_irqs_;
         backend_.raise_msi(backend_.rx_msi_);
@@ -395,6 +468,7 @@ void VhostNetBackend::notify_tx() {
              /*arg=*/0, tx_kick_corr_);
   }
 #endif
+  if (kick_blocked(0)) return;
   if (faults_ != nullptr) {
     switch (faults_->kick_fate()) {
       case FaultInjector::KickFate::kDrop:
@@ -427,6 +501,7 @@ void VhostNetBackend::notify_rx() {
              /*arg=*/1, refill_corr);
   }
 #endif
+  if (kick_blocked(1)) return;
   if (faults_ != nullptr) {
     switch (faults_->kick_fate()) {
       case FaultInjector::KickFate::kDrop:
@@ -446,6 +521,310 @@ void VhostNetBackend::notify_rx() {
     }
   }
   worker_.activate(*rx_handler_);
+}
+
+// ---------------------------------------------------------------------------
+// Device lifecycle
+// ---------------------------------------------------------------------------
+
+void VhostNetBackend::write_status(std::uint8_t status) {
+  if (status == 0) {
+    // Full device reset (virtio 1.1 §2.4.2): quiesce both queues, drop
+    // quarantines and wedges, forget the negotiated features. Stale
+    // in-flight completions are dropped by the reset-epoch guard; MSI
+    // identities and the ES2 poll quota survive (host module state the
+    // driver re-programs identically).
+    tx_vq_.reset();
+    rx_vq_.reset();
+    tx_vq_.set_enabled(false);
+    rx_vq_.set_enabled(false);
+    wedged_[0] = wedged_[1] = false;
+    selfcheck_strikes_[0] = selfcheck_strikes_[1] = 0;
+    status_ = 0;
+    features_acked_ = 0;
+    ++device_resets_;
+    if (recovery_log_ != nullptr) {
+      recovery_log_->note_action(RecoveryRung::kDeviceReset, kScopeWorker);
+    }
+#if ES2_TRACE_ENABLED
+    if (Tracer* tr = active_tracer(vm_.host().sim())) {
+      std::uint64_t corr = fault_corr_[kScopeWorker];
+      if (corr == 0) corr = fault_corr_[kScopeTx];
+      if (corr == 0) corr = fault_corr_[kScopeRx];
+      tr->emit(vm_.host().sim().now(), TraceKind::kDeviceReset, vm_.id(), -1,
+               worker_core(worker_), /*arg=*/0, corr);
+    }
+#endif
+    if (reset_listener_) reset_listener_();
+    return;
+  }
+  // DEVICE_NEEDS_RESET is device-owned: guest writes can neither set nor
+  // clear it short of a full reset.
+  const bool was_driver_ok = driver_ok();
+  status_ = static_cast<std::uint8_t>(
+      (status & ~kStatusDeviceNeedsReset) |
+      (status_ & kStatusDeviceNeedsReset));
+  if (!was_driver_ok && driver_ok()) {
+    ++renegotiations_;
+#if ES2_TRACE_ENABLED
+    if (Tracer* tr = active_tracer(vm_.host().sim())) {
+      tr->emit(vm_.host().sim().now(), TraceKind::kRenegotiate, vm_.id(), -1,
+               worker_core(worker_),
+               static_cast<std::uint32_t>(features_acked_ & 0xffffffffu),
+               fault_corr_[kScopeWorker]);
+    }
+#endif
+  }
+}
+
+bool VhostNetBackend::ack_features(std::uint64_t features) {
+  if ((features & ~features_offered()) != 0) return false;
+  features_acked_ = features;
+  return true;
+}
+
+void VhostNetBackend::reset_queue(int q) {
+  Virtqueue& vq = queue(q);
+  vq.reset();
+  vq.set_enabled(true);
+  wedged_[q] = false;
+  selfcheck_strikes_[q] = 0;
+  ++queue_resets_;
+  if (recovery_log_ != nullptr) {
+    recovery_log_->note_action(RecoveryRung::kQueueReset, q);
+  }
+  if (tx_vq_.pending_fault() == RingFault::kNone &&
+      rx_vq_.pending_fault() == RingFault::kNone) {
+    status_ &= static_cast<std::uint8_t>(~kStatusDeviceNeedsReset);
+  }
+#if ES2_TRACE_ENABLED
+  if (Tracer* tr = active_tracer(vm_.host().sim())) {
+    tr->emit(vm_.host().sim().now(), TraceKind::kQueueReset, vm_.id(), -1,
+             worker_core(worker_), static_cast<std::uint32_t>(q),
+             fault_corr_[q]);
+  }
+#endif
+}
+
+bool VhostNetBackend::pre_service(int q) {
+  Virtqueue& vq = queue(q);
+  if (wedged_[q]) return false;  // eats the activation, does no work
+  if (!driver_ok() || !vq.enabled()) return false;
+  if (vq.pending_fault() != RingFault::kNone) return false;  // quarantined
+  const RingFault f = vq.check_integrity();
+  if (f != RingFault::kNone) {
+    on_ring_fault(q, f);
+    return false;
+  }
+  return true;
+}
+
+void VhostNetBackend::on_ring_fault(int q, RingFault f) {
+  queue(q).flag_fault(f);
+  status_ |= kStatusDeviceNeedsReset;
+  ++ring_faults_detected_;
+#if ES2_TRACE_ENABLED
+  if (Tracer* tr = active_tracer(vm_.host().sim())) {
+    tr->emit(vm_.host().sim().now(), TraceKind::kRingFault, vm_.id(), -1,
+             worker_core(worker_), static_cast<std::uint32_t>(f),
+             fault_corr_[q]);
+  }
+#endif
+}
+
+void VhostNetBackend::note_progress(int scope) {
+  if (recovery_log_ == nullptr) return;
+  const int closed =
+      recovery_log_->note_progress(scope, vm_.host().sim().now());
+  if (closed > 0) {
+#if ES2_TRACE_ENABLED
+    if (Tracer* tr = active_tracer(vm_.host().sim())) {
+      tr->emit(vm_.host().sim().now(), TraceKind::kRecovered, vm_.id(), -1,
+               worker_core(worker_), static_cast<std::uint32_t>(closed),
+               fault_corr_[scope]);
+    }
+#endif
+    fault_corr_[scope] = 0;
+    // Progress on any queue also closes worker-scope instances.
+    fault_corr_[kScopeWorker] = 0;
+  }
+}
+
+bool VhostNetBackend::kick_blocked(int q) {
+  // A wedged handler still *receives* kicks (it eats the turns); only a
+  // non-operational device swallows them at the ioeventfd.
+  if (driver_ok() && queue(q).enabled() &&
+      queue(q).pending_fault() == RingFault::kNone) {
+    return false;
+  }
+  ++kicks_ignored_;
+  return true;
+}
+
+void VhostNetBackend::open_fault(LifecycleFault mode, int scope) {
+  std::uint64_t corr = 0;
+#if ES2_TRACE_ENABLED
+  if (Tracer* tr = active_tracer(vm_.host().sim())) {
+    corr = tr->begin_journey();
+    tr->emit(vm_.host().sim().now(), TraceKind::kFaultInject, vm_.id(), -1,
+             worker_core(worker_), static_cast<std::uint32_t>(mode), corr);
+  }
+#endif
+  fault_corr_[scope] = corr;
+  if (recovery_log_ != nullptr) {
+    recovery_log_->open(mode, scope, vm_.host().sim().now(), corr);
+  }
+}
+
+void VhostNetBackend::inject_ring_corruption() {
+  const int q = corrupt_seq_ & 1;
+  const int kind = (corrupt_seq_ >> 1) % 3;
+  ++corrupt_seq_;
+  Virtqueue& vq = queue(q);
+  if (vq.pending_fault() != RingFault::kNone) return;  // already quarantined
+  switch (kind) {
+    case 0:
+      vq.inject_desc_out_of_range();
+      break;
+    case 1:
+      vq.inject_duplicate_head();
+      break;
+    default:
+      vq.inject_used_overrun();
+      break;
+  }
+  open_fault(LifecycleFault::kDescCorrupt, q);
+}
+
+void VhostNetBackend::inject_avail_tear() {
+  const int q = tear_seq_ & 1;
+  ++tear_seq_;
+  Virtqueue& vq = queue(q);
+  if (vq.pending_fault() != RingFault::kNone) return;
+  vq.inject_avail_tear();
+  open_fault(LifecycleFault::kAvailTear, q);
+}
+
+void VhostNetBackend::inject_handler_wedge() {
+  const int q = wedge_seq_ & 1;
+  ++wedge_seq_;
+  if (wedged_[q]) return;
+  wedged_[q] = true;
+  open_fault(LifecycleFault::kHandlerWedge, q);
+}
+
+void VhostNetBackend::inject_worker_crash(SimDuration restart_delay) {
+  if (worker_.crashed()) return;
+  open_fault(LifecycleFault::kWorkerCrash, kScopeWorker);
+  worker_.crash_and_restart(restart_delay);
+}
+
+VqHandler& VhostNetBackend::handler_of(int q) {
+  return q == 0 ? static_cast<VqHandler&>(*tx_handler_)
+                : static_cast<VqHandler&>(*rx_handler_);
+}
+
+void VhostNetBackend::arm_lifecycle_selfcheck() {
+  if (selfcheck_armed_ || params_.lifecycle_selfcheck_period <= 0) return;
+  selfcheck_armed_ = true;
+  selfcheck_last_progress_[0] = tx_packets_;
+  selfcheck_last_progress_[1] = rx_packets_;
+  selfcheck_ = vm_.host().sim().after(params_.lifecycle_selfcheck_period,
+                                      [this] { lifecycle_selfcheck_tick(); });
+}
+
+void VhostNetBackend::lifecycle_selfcheck_tick() {
+  for (int q = 0; q < 2; ++q) {
+    Virtqueue& vq = queue(q);
+    const std::int64_t progress = progress_counter(q);
+    const bool progressed = progress != selfcheck_last_progress_[q];
+    selfcheck_last_progress_[q] = progress;
+    // Strikes freeze while the worker is down: re-activating a dead worker
+    // is pointless, and the first post-restart tick should escalate from
+    // where the stall left off.
+    if (worker_.crashed()) continue;
+    const bool work =
+        q == 0 ? vq.has_avail() : (!sock_buf_.empty() && vq.has_avail());
+    VqHandler& h = handler_of(q);
+    if (!work || progressed || h.queued() || !vq.enabled() ||
+        vq.pending_fault() != RingFault::kNone || !driver_ok()) {
+      selfcheck_strikes_[q] = 0;
+      continue;
+    }
+    ++selfcheck_strikes_[q];
+    if (selfcheck_strikes_[q] == 1) {
+      // First strike: assume a lost activation (swallowed kick, worker
+      // crash) and re-poll in its place — the vhost re-poll rung.
+      ++selfcheck_repolls_;
+      if (recovery_log_ != nullptr) {
+        recovery_log_->note_action(RecoveryRung::kVhostRepoll, q);
+      }
+      worker_.activate(h);
+    } else {
+      // Re-polling didn't help: the handler is eating turns without
+      // making progress. Declare it wedged and quarantine the queue; the
+      // guest ladder takes it from here.
+      selfcheck_strikes_[q] = 0;
+      on_ring_fault(q, RingFault::kHandlerWedge);
+    }
+  }
+  selfcheck_ = vm_.host().sim().after(params_.lifecycle_selfcheck_period,
+                                      [this] { lifecycle_selfcheck_tick(); });
+}
+
+void VhostNetBackend::register_lifecycle_metrics(MetricsRegistry& registry) {
+  MetricLabels labels = {{"vm", vm_.name()}};
+  registry.probe("vhost.lifecycle.status", labels, [this] {
+    return static_cast<double>(status_);
+  });
+  registry.probe("vhost.lifecycle.ring_faults", labels, [this] {
+    return static_cast<double>(ring_faults_detected_);
+  });
+  registry.probe("vhost.lifecycle.kicks_ignored", labels, [this] {
+    return static_cast<double>(kicks_ignored_);
+  });
+  registry.probe("vhost.lifecycle.selfcheck_repolls", labels, [this] {
+    return static_cast<double>(selfcheck_repolls_);
+  });
+  registry.probe("vhost.lifecycle.queue_resets", labels, [this] {
+    return static_cast<double>(queue_resets_);
+  });
+  registry.probe("vhost.lifecycle.device_resets", labels, [this] {
+    return static_cast<double>(device_resets_);
+  });
+  registry.probe("vhost.lifecycle.renegotiations", labels, [this] {
+    return static_cast<double>(renegotiations_);
+  });
+  // Uniform per-cause watchdog-recovery reporting (the guest frontend
+  // registers the tx_rekick / napi_poll causes): host-side re-polls from
+  // both the PR-2 RX safety net and the lifecycle self-check.
+  registry.probe("recovery.watchdog",
+                 {{"vm", vm_.name()}, {"cause", "vhost_repoll"}}, [this] {
+                   return static_cast<double>(rx_repolls_ +
+                                              selfcheck_repolls_);
+                 });
+}
+
+void VhostNetBackend::snapshot_lifecycle_state(SnapshotWriter& w) const {
+  w.put_u8(status_);
+  w.put_u64(features_acked_);
+  w.put_bool(wedged_[0]);
+  w.put_bool(wedged_[1]);
+  w.put_u32(static_cast<std::uint32_t>(selfcheck_strikes_[0]));
+  w.put_u32(static_cast<std::uint32_t>(selfcheck_strikes_[1]));
+  w.put_i64(selfcheck_last_progress_[0]);
+  w.put_i64(selfcheck_last_progress_[1]);
+  w.put_u32(static_cast<std::uint32_t>(corrupt_seq_));
+  w.put_u32(static_cast<std::uint32_t>(tear_seq_));
+  w.put_u32(static_cast<std::uint32_t>(wedge_seq_));
+  w.put_i64(ring_faults_detected_);
+  w.put_i64(kicks_ignored_);
+  w.put_i64(selfcheck_repolls_);
+  w.put_i64(queue_resets_);
+  w.put_i64(device_resets_);
+  w.put_i64(renegotiations_);
+  tx_vq_.snapshot_lifecycle_state(w);
+  rx_vq_.snapshot_lifecycle_state(w);
 }
 
 void VhostNetBackend::arm_rx_repoll() {

@@ -38,6 +38,7 @@ namespace es2 {
 
 class FaultInjector;
 class MetricsRegistry;
+class RecoveryLog;
 class VhostWorker;
 
 /// One schedulable unit of back-end work (a virtqueue handler).
@@ -52,6 +53,9 @@ class VqHandler {
                        std::function<void(bool requeue)> done) = 0;
 
   const std::string& name() const { return name_; }
+  /// True while queued (or running) on the worker; the backend lifecycle
+  /// self-check uses it to tell "parked" from "scheduled".
+  bool queued() const { return queued_; }
 
  private:
   friend class VhostWorker;
@@ -108,6 +112,28 @@ class VhostWorker : public Snapshottable {
   std::uint64_t wakeups() const { return wakeups_; }
   SimDuration requeue_delay() const { return requeue_delay_; }
 
+  /// Fault injection: the worker dies (its activation queue is lost and
+  /// kicks fall on deaf ears) and comes back after `restart_delay`. The
+  /// crash takes effect at the next dispatch boundary — an in-flight
+  /// handler turn finishes its current descriptor first, which keeps the
+  /// model deterministic without mid-exec teardown. Recovery of the
+  /// orphaned queues is the backend self-check's job (it re-activates
+  /// handlers once the worker is back).
+  void crash_and_restart(SimDuration restart_delay);
+  bool crashed() const { return crashed_; }
+  std::int64_t crashes() const { return crashes_; }
+  std::int64_t restarts() const { return restarts_; }
+
+  /// Lifecycle-only telemetry, registered by the harness when lifecycle
+  /// faults are armed (keeps the frozen instrument set — and with it the
+  /// sampler's snapshot bytes — unchanged for every existing scenario).
+  void register_lifecycle_metrics(MetricsRegistry& registry);
+
+  /// Serializes crash/restart state. Separate from snapshot_state so the
+  /// faults-off es2-snap-v1 layout stays bit-identical; the harness
+  /// registers it as its own section when lifecycle faults are armed.
+  void snapshot_lifecycle_state(SnapshotWriter& w) const;
+
   /// Registers worker telemetry probes (label worker=<thread name>).
   void register_metrics(MetricsRegistry& registry);
 
@@ -134,6 +160,11 @@ class VhostWorker : public Snapshottable {
   std::deque<VqHandler*> active_;
   std::uint64_t turns_ = 0;
   std::uint64_t wakeups_ = 0;
+  // Lifecycle state (snapshot via snapshot_lifecycle_state only).
+  bool crashed_ = false;
+  std::int64_t crashes_ = 0;
+  std::int64_t restarts_ = 0;
+  EventHandle restart_;
 };
 
 /// Per-packet back-end cost knobs (host-side processing).
@@ -156,6 +187,12 @@ struct VhostNetParams {
   /// for guest buffers after going to sleep waiting on a refill kick that
   /// may have been swallowed. Irrelevant (and never armed) without faults.
   SimDuration rx_repoll_period = usec(100);
+  /// Lifecycle self-check cadence (host-side watchdog): a queue with
+  /// pending work, an idle handler and no progress for one period gets a
+  /// re-activation (the vhost re-poll rung); a second fruitless period
+  /// declares the handler wedged and flags DEVICE_NEEDS_RESET. Armed only
+  /// via arm_lifecycle_selfcheck (lifecycle fault scenarios).
+  SimDuration lifecycle_selfcheck_period = usec(250);
 };
 
 /// vhost-net device instance for one VM: TX + RX virtqueues, their
@@ -198,6 +235,88 @@ class VhostNetBackend : public Snapshottable {
   /// Attaches a fault injector (kick loss/delay, MSI drops). Null (the
   /// default) keeps the event path perfect.
   void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+
+  // --- device lifecycle (virtio 1.1 status register) -----------------------
+  // The backend boots pre-negotiated (status DRIVER_OK, all offered
+  // features acked) so directly-constructed test rings keep working; the
+  // frontend's constructor immediately performs the real negotiation
+  // sequence through write_status/ack_features.
+
+  std::uint8_t device_status() const { return status_; }
+  /// Guest status-register write. 0 performs a full device reset: both
+  /// rings reset, queues disabled, wedges and quarantines cleared,
+  /// negotiated features dropped. Setting DRIVER_OK completes (re-)
+  /// negotiation. MSI identities and the ES2 poll quota survive (host
+  /// module state the driver re-programs identically).
+  void write_status(std::uint8_t status);
+  std::uint64_t features_offered() const {
+    return kFeatureMrgRxBuf | kFeatureEventIdx | kFeatureVersion1;
+  }
+  /// Driver feature ack before FEATURES_OK; false if not a subset of the
+  /// offer (the write is ignored).
+  bool ack_features(std::uint64_t features);
+  std::uint64_t features_acked() const { return features_acked_; }
+  bool driver_ok() const { return (status_ & kStatusDriverOk) != 0; }
+  bool needs_reset() const {
+    return (status_ & kStatusDeviceNeedsReset) != 0;
+  }
+
+  /// Queues by index (0 = TX, 1 = RX) and per-queue enable.
+  Virtqueue& queue(int q) { return q == 0 ? tx_vq_ : rx_vq_; }
+  void enable_queue(int q, bool on) { queue(q).set_enabled(on); }
+
+  /// Device-side single-queue reset: drains/clears the ring (stale
+  /// in-flight completions are dropped by the reset-epoch guard), clears
+  /// the queue's wedge and quarantine, recomputes DEVICE_NEEDS_RESET, and
+  /// leaves the queue enabled again.
+  void reset_queue(int q);
+
+  /// Arms the host-side lifecycle watchdog (see
+  /// VhostNetParams::lifecycle_selfcheck_period). Called by the harness
+  /// only when lifecycle faults are armed: healthy worlds schedule no
+  /// extra events and stay bit-identical.
+  void arm_lifecycle_selfcheck();
+
+  /// Recovery ledger (owned by the harness); null keeps every hook inert.
+  void set_recovery_log(RecoveryLog* log) { recovery_log_ = log; }
+  RecoveryLog* recovery_log() { return recovery_log_; }
+
+  /// Invoked after every full device reset (write_status(0)) — the ES2
+  /// redirector re-primes its per-VM steering state here.
+  void set_reset_listener(std::function<void()> listener) {
+    reset_listener_ = std::move(listener);
+  }
+
+  // --- lifecycle fault injection (FaultInjector hooks) ---------------------
+  /// Ring corruption, rotating deterministically through out-of-range /
+  /// duplicate-head / used-overrun and alternating TX/RX.
+  void inject_ring_corruption();
+  /// Torn avail-idx write, alternating TX/RX.
+  void inject_avail_tear();
+  /// Wedges a handler (alternating TX/RX): it keeps consuming activations
+  /// without servicing until a queue/device reset clears it.
+  void inject_handler_wedge();
+  /// Crashes the worker (restarting after `restart_delay`) and opens a
+  /// worker-scope fault instance.
+  void inject_worker_crash(SimDuration restart_delay);
+
+  std::int64_t ring_faults_detected() const { return ring_faults_detected_; }
+  std::int64_t kicks_ignored() const { return kicks_ignored_; }
+  /// Lifecycle self-check re-activations (the vhost re-poll rung).
+  std::int64_t selfcheck_repolls() const { return selfcheck_repolls_; }
+  std::int64_t queue_resets() const { return queue_resets_; }
+  std::int64_t device_resets() const { return device_resets_; }
+  std::int64_t renegotiations() const { return renegotiations_; }
+
+  /// Lifecycle-only telemetry; registered by the harness when lifecycle
+  /// faults are armed (keeps the frozen instrument set unchanged
+  /// elsewhere).
+  void register_lifecycle_metrics(MetricsRegistry& registry);
+
+  /// Serializes device status, negotiated features, wedges, injection
+  /// rotation state and both queues' lifecycle state. Separate section
+  /// from snapshot_state so faults-off images keep their exact layout.
+  void snapshot_lifecycle_state(SnapshotWriter& w) const;
 
   // --- guest-facing (ioeventfd side of the kick) -------------------------
   void notify_tx();
@@ -242,6 +361,25 @@ class VhostNetBackend : public Snapshottable {
   int effective_quota() const {
     return poll_quota_ > 0 ? poll_quota_ : params_.weight;
   }
+  /// Handler turn gate: false parks the turn (wedged / disabled /
+  /// quarantined queue), running the integrity check on the way in and
+  /// quarantining on a fresh fault.
+  bool pre_service(int q);
+  /// Quarantines queue `q` with fault `f` and flags DEVICE_NEEDS_RESET.
+  void on_ring_fault(int q, RingFault f);
+  /// Opens a recovery-ledger instance (+ fault_inject trace journey) for
+  /// one injected lifecycle fault.
+  void open_fault(LifecycleFault mode, int scope);
+  /// Completion-side recovery-ledger hook (closes matching instances).
+  void note_progress(int scope);
+  /// True if a kick/activation for queue `q` should be swallowed because
+  /// the device is not operational for it.
+  bool kick_blocked(int q);
+  void lifecycle_selfcheck_tick();
+  VqHandler& handler_of(int q);
+  std::int64_t progress_counter(int q) const {
+    return q == 0 ? tx_packets_ : rx_packets_;
+  }
 
   Vm& vm_;
   VhostWorker& worker_;
@@ -272,6 +410,34 @@ class VhostNetBackend : public Snapshottable {
   // only by the (compile-time gated) trace hooks; inert otherwise.
   std::uint64_t tx_kick_corr_ = 0;
   std::uint64_t rx_kick_corr_ = 0;
+
+  // Lifecycle state (snapshot via snapshot_lifecycle_state only). Boots
+  // pre-negotiated for directly-constructed test rings; the frontend
+  // renegotiates from scratch in its constructor.
+  std::uint8_t status_ = kStatusAcknowledge | kStatusDriver |
+                         kStatusFeaturesOk | kStatusDriverOk;
+  std::uint64_t features_acked_ = kFeatureMrgRxBuf | kFeatureEventIdx |
+                                  kFeatureVersion1;
+  bool wedged_[2] = {false, false};
+  RecoveryLog* recovery_log_ = nullptr;
+  std::function<void()> reset_listener_;
+  EventHandle selfcheck_;
+  bool selfcheck_armed_ = false;
+  int selfcheck_strikes_[2] = {0, 0};
+  std::int64_t selfcheck_last_progress_[2] = {0, 0};
+  int corrupt_seq_ = 0;
+  int tear_seq_ = 0;
+  int wedge_seq_ = 0;
+  std::int64_t ring_faults_detected_ = 0;
+  std::int64_t kicks_ignored_ = 0;
+  std::int64_t selfcheck_repolls_ = 0;
+  std::int64_t queue_resets_ = 0;
+  std::int64_t device_resets_ = 0;
+  std::int64_t renegotiations_ = 0;
+  // Correlation id of the open lifecycle fault per scope (tx/rx/worker);
+  // reset/renegotiate spans reuse it so one journey covers inject ->
+  // detect -> reset -> recover.
+  std::uint64_t fault_corr_[3] = {0, 0, 0};
 };
 
 }  // namespace es2

@@ -57,6 +57,30 @@ std::optional<Virtqueue::Entry> Virtqueue::pop_used() {
   return entry;
 }
 
+void Virtqueue::reset() {
+  avail_.clear();
+  used_.clear();
+  in_flight_ = 0;
+  notifications_enabled_ = true;
+  avail_idx_ = 0;
+  avail_event_ = 0;
+  interrupts_enabled_ = true;
+  used_idx_ = 0;
+  used_event_ = 0;
+  injected_fault_ = RingFault::kNone;
+  pending_fault_ = RingFault::kNone;
+  ++reset_epoch_;
+}
+
+RingFault Virtqueue::check_integrity() const {
+  if (injected_fault_ != RingFault::kNone) return injected_fault_;
+  const std::int64_t slack =
+      avail_idx_ - used_idx_ - in_flight_ - avail_count();
+  if (slack > 0) return RingFault::kAvailIdxTorn;
+  if (slack < 0) return RingFault::kUsedOverrun;
+  return RingFault::kNone;
+}
+
 bool Virtqueue::enable_notifications() {
   notifications_enabled_ = true;
   avail_event_ = avail_idx_;
@@ -107,6 +131,13 @@ void Virtqueue::snapshot_state(SnapshotWriter& w) const {
   w.put_i64(used_event_);
   w.put_i64(notify_enables_);
   w.put_i64(irq_enables_);
+}
+
+void Virtqueue::snapshot_lifecycle_state(SnapshotWriter& w) const {
+  w.put_bool(enabled_);
+  w.put_i64(reset_epoch_);
+  w.put_u8(static_cast<std::uint8_t>(injected_fault_));
+  w.put_u8(static_cast<std::uint8_t>(pending_fault_));
 }
 
 }  // namespace es2

@@ -27,6 +27,7 @@
 #include "base/units.h"
 #include "net/packet.h"
 #include "stats/meters.h"
+#include "virtio/device_status.h"
 
 namespace es2 {
 
@@ -93,6 +94,56 @@ class Virtqueue {
   void disable_notifications() { notifications_enabled_ = false; }
   bool notifications_enabled() const { return notifications_enabled_; }
 
+  // --- lifecycle ----------------------------------------------------------
+
+  /// Per-queue enable bit (virtio 1.1 queue_enable). Queues start enabled
+  /// for compatibility with directly-constructed test rings; the device
+  /// lifecycle disables them across reset/renegotiation.
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  /// Returns the ring to its just-constructed state: rings emptied,
+  /// indices and EVENT_IDX suppression state zeroed, any injected or
+  /// detected fault cleared. Cumulative suppression telemetry
+  /// (notify_enables/irq_enables) survives, same as the LAPIC's post/EOI
+  /// counters: the registry samples them as lifetime values.
+  void reset();
+
+  /// Bumped by every reset(). Async completions capture the epoch at
+  /// pop_avail time and drop themselves if a reset intervened, so a
+  /// quiesce can never complete a descriptor into the wrong ring
+  /// generation (push_used on a fresh ring would trip the in-flight
+  /// invariant).
+  std::int64_t reset_epoch() const { return reset_epoch_; }
+
+  /// O(1) accounting audit of the shared ring. The healthy invariant is
+  /// avail_idx == avail_count + in_flight + used_idx; a torn avail-idx
+  /// write breaks it upward, a used-ring overrun downward. Injected
+  /// descriptor-table faults (out-of-range head, duplicated in-flight
+  /// head) are reported directly. Never asserts.
+  RingFault check_integrity() const;
+
+  /// Detection result, sticky until reset(): the backend quarantines a
+  /// queue by recording what it found, and the guest's recovery ladder
+  /// reads it back to pick a rung.
+  RingFault pending_fault() const { return pending_fault_; }
+  void flag_fault(RingFault f) { pending_fault_ = f; }
+
+  /// Fault injection (FaultInjector only): corrupt the shared state the
+  /// way a buggy or malicious guest would. Tears/overruns mutate the real
+  /// indices so detection derives them from accounting; descriptor-table
+  /// faults set a marker (the model has no real descriptor table).
+  void inject_desc_out_of_range() { injected_fault_ = RingFault::kDescOutOfRange; }
+  void inject_duplicate_head() { injected_fault_ = RingFault::kDuplicateHead; }
+  void inject_avail_tear() { avail_idx_ += capacity_ + 3; }
+  void inject_used_overrun() { used_idx_ += capacity_ + 1; }
+
+  /// Serializes the lifecycle/integrity state (enable bit, reset epoch,
+  /// fault markers). Kept out of snapshot_state so faults-off worlds keep
+  /// their exact es2-snap-v1 byte layout; the owning device embeds this
+  /// in its fault-gated lifecycle section.
+  void snapshot_lifecycle_state(SnapshotWriter& w) const;
+
   // --- statistics ---------------------------------------------------------
 
   std::int64_t total_added() const { return avail_idx_; }
@@ -135,6 +186,12 @@ class Virtqueue {
 
   std::int64_t notify_enables_ = 0;
   std::int64_t irq_enables_ = 0;
+
+  // Lifecycle state (snapshot via snapshot_lifecycle_state only).
+  bool enabled_ = true;
+  std::int64_t reset_epoch_ = 0;
+  RingFault injected_fault_ = RingFault::kNone;
+  RingFault pending_fault_ = RingFault::kNone;
 };
 
 }  // namespace es2
