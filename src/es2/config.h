@@ -29,6 +29,10 @@ struct Es2Config {
   /// selects 4 for TCP-dominated and 8 for UDP-dominated workloads.
   int poll_quota = 4;
   RedirectPolicy policy = RedirectPolicy::kPaper;
+  /// Multi-queue extension: give each MSI vector its own sticky steering
+  /// target instead of one per VM, so a multi-queue device's pairs settle
+  /// on distinct vCPUs. Off by default — single-queue stacks are unchanged.
+  bool per_queue_affinity = false;
 
   static Es2Config baseline() { return {}; }
   static Es2Config pi() { return {true, false, false, 4, RedirectPolicy::kPaper}; }

@@ -8,7 +8,7 @@ Es2System::Es2System(KvmHost& host, Es2Config config)
     : host_(host), config_(config) {
   if (config_.redirection) {
     redirector_ = std::make_unique<InterruptRedirector>(
-        host, config_.policy, host.sim().seed());
+        host, config_.policy, host.sim().seed(), config_.per_queue_affinity);
   }
 }
 

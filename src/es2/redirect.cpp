@@ -5,8 +5,12 @@
 namespace es2 {
 
 InterruptRedirector::InterruptRedirector(KvmHost& host, RedirectPolicy policy,
-                                         std::uint64_t seed)
-    : host_(host), policy_(policy), rng_(Rng::stream(seed, "redirector")) {
+                                         std::uint64_t seed,
+                                         bool per_queue_affinity)
+    : host_(host),
+      policy_(policy),
+      rng_(Rng::stream(seed, "redirector")),
+      per_queue_affinity_(per_queue_affinity) {
   host.router().set_interceptor(
       [this](Vm& vm, const MsiMessage& msg) -> int {
         if (!tracks(vm)) return -1;  // untracked VMs keep their affinity
@@ -32,6 +36,24 @@ VcpuStatusTracker& InterruptRedirector::tracker(Vm& vm) {
 void InterruptRedirector::on_device_reset(Vm& vm) {
   if (!tracks(vm)) return;
   tracker(vm).set_sticky_target(-1);
+  vector_sticky_.erase(&vm);
+}
+
+int InterruptRedirector::sticky_for(Vm& vm, const MsiMessage& msg) {
+  if (!per_queue_affinity_) return tracker(vm).sticky_target();
+  const auto vm_it = vector_sticky_.find(&vm);
+  if (vm_it == vector_sticky_.end()) return -1;
+  const auto it = vm_it->second.find(msg.vector);
+  return it == vm_it->second.end() ? -1 : it->second;
+}
+
+void InterruptRedirector::set_sticky_for(Vm& vm, const MsiMessage& msg,
+                                         int target) {
+  if (!per_queue_affinity_) {
+    tracker(vm).set_sticky_target(target);
+    return;
+  }
+  vector_sticky_[&vm][msg.vector] = target;
 }
 
 int InterruptRedirector::select_target(Vm& vm, const MsiMessage& msg) {
@@ -42,7 +64,7 @@ int InterruptRedirector::select_target(Vm& vm, const MsiMessage& msg) {
 
   switch (policy_) {
     case RedirectPolicy::kPaper: {
-      const int sticky = t.sticky_target();
+      const int sticky = sticky_for(vm, msg);
       if (sticky >= 0 && t.is_online(sticky)) {
         ++via_sticky_;
         t.count_interrupt(sticky);
@@ -51,7 +73,7 @@ int InterruptRedirector::select_target(Vm& vm, const MsiMessage& msg) {
       const int lightest = t.lightest_online();
       if (lightest >= 0) {
         ++via_online_;
-        t.set_sticky_target(lightest);
+        set_sticky_for(vm, msg, lightest);
         t.count_interrupt(lightest);
         return lightest;
       }
@@ -98,7 +120,7 @@ int InterruptRedirector::select_target(Vm& vm, const MsiMessage& msg) {
     }
 
     case RedirectPolicy::kRandomOffline: {
-      const int sticky = t.sticky_target();
+      const int sticky = sticky_for(vm, msg);
       if (sticky >= 0 && t.is_online(sticky)) {
         ++via_sticky_;
         t.count_interrupt(sticky);
@@ -107,7 +129,7 @@ int InterruptRedirector::select_target(Vm& vm, const MsiMessage& msg) {
       const int lightest = t.lightest_online();
       if (lightest >= 0) {
         ++via_online_;
-        t.set_sticky_target(lightest);
+        set_sticky_for(vm, msg, lightest);
         t.count_interrupt(lightest);
         return lightest;
       }
@@ -150,6 +172,24 @@ void InterruptRedirector::snapshot_state(SnapshotWriter& w) const {
                               : static_cast<unsigned>(t.sticky_target())));
     for (int v = 0; v < vm.num_vcpus(); ++v) w.put_i64(t.interrupts(v));
     w.put_i64(t.transitions());
+  }
+  if (per_queue_affinity_) {
+    // Appended only when the multi-queue affinity extension is on, so the
+    // default stacks keep their exact es2-snap-v1 byte layout. Same host-
+    // order walk; the per-VM vector map is ordered by vector number.
+    for (int i = 0; i < host_.num_vms(); ++i) {
+      Vm& vm = host_.vm(i);
+      if (!tracks(vm)) continue;
+      const auto vm_it = vector_sticky_.find(&vm);
+      const std::size_t entries =
+          vm_it == vector_sticky_.end() ? 0 : vm_it->second.size();
+      w.put_u32(static_cast<std::uint32_t>(entries));
+      if (vm_it == vector_sticky_.end()) continue;
+      for (const auto& [vector, target] : vm_it->second) {
+        w.put_u32(static_cast<std::uint32_t>(vector));
+        w.put_u32(static_cast<std::uint32_t>(target));
+      }
+    }
   }
 }
 

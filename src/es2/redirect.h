@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <unordered_map>
 
@@ -28,7 +29,8 @@ namespace es2 {
 class InterruptRedirector : public Snapshottable {
  public:
   InterruptRedirector(KvmHost& host, RedirectPolicy policy,
-                      std::uint64_t seed = 1);
+                      std::uint64_t seed = 1,
+                      bool per_queue_affinity = false);
   InterruptRedirector(const InterruptRedirector&) = delete;
   InterruptRedirector& operator=(const InterruptRedirector&) = delete;
 
@@ -61,10 +63,19 @@ class InterruptRedirector : public Snapshottable {
   void snapshot_state(SnapshotWriter& w) const override;
 
  private:
+  /// Sticky lookup/update: per (VM, vector) when per-queue affinity is on,
+  /// else the tracker's single per-VM target.
+  int sticky_for(Vm& vm, const MsiMessage& msg);
+  void set_sticky_for(Vm& vm, const MsiMessage& msg, int target);
+
   KvmHost& host_;
   RedirectPolicy policy_;
   Rng rng_;
+  bool per_queue_affinity_ = false;
   std::unordered_map<const Vm*, std::unique_ptr<VcpuStatusTracker>> trackers_;
+  // Per-(VM, vector) sticky targets (per-queue affinity only). An ordered
+  // map so snapshot serialization never depends on hash order.
+  std::unordered_map<const Vm*, std::map<int, int>> vector_sticky_;
   std::uint64_t rr_cursor_ = 0;
   std::int64_t via_sticky_ = 0;
   std::int64_t via_online_ = 0;

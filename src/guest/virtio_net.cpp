@@ -1,5 +1,7 @@
 #include "guest/virtio_net.h"
 
+#include <algorithm>
+
 #include "base/assert.h"
 #include "fault/recovery.h"
 #include "guest/guest_os.h"
@@ -10,22 +12,34 @@ namespace es2 {
 
 VirtioNetFrontend::VirtioNetFrontend(GuestOs& os, VhostNetBackend& backend)
     : os_(os), backend_(backend) {
+  const int pairs = backend_.num_queue_pairs();
+  napi_scheduled_.assign(static_cast<std::size_t>(pairs), false);
+  watchdog_last_used_.assign(static_cast<std::size_t>(pairs), 0);
+  watchdog_strikes_.assign(static_cast<std::size_t>(pairs), 0);
+  rx_watchdog_last_polled_.assign(static_cast<std::size_t>(pairs), 0);
+  rx_watchdog_strikes_.assign(static_cast<std::size_t>(pairs), 0);
+  rx_polled_by_pair_.assign(static_cast<std::size_t>(pairs), 0);
+  watchdog_tx_stalled_.assign(static_cast<std::size_t>(pairs), 0);
+  watchdog_rx_stalled_.assign(static_cast<std::size_t>(pairs), 0);
+  ladder_recent_.assign(static_cast<std::size_t>(backend_.num_queues()), 0);
   // Real virtio bring-up through the status register: reset, negotiate,
   // queue setup, DRIVER_OK. The backend boots pre-negotiated (for
   // directly-constructed test rings); this sequence rebuilds the identical
   // end state the proper way.
   backend_.write_status(0);
   negotiate();
-  // Driver initialization: pre-post the whole receive ring, run TX with
+  // Driver initialization: pre-post every receive ring, run TX with
   // completion interrupts off (Linux virtio-net frees old skbs inline) and
   // RX interrupts on. Refill notifications start disabled host-side.
-  Virtqueue& rx = backend_.rx_vq();
-  while (rx.free_slots() > 0) {
-    const bool ok = rx.add_avail(Virtqueue::Entry{nullptr, 0});
-    ES2_CHECK(ok);
+  for (int pair = 0; pair < pairs; ++pair) {
+    Virtqueue& rx = backend_.rx_vq(pair);
+    while (rx.free_slots() > 0) {
+      const bool ok = rx.add_avail(Virtqueue::Entry{nullptr, 0});
+      ES2_CHECK(ok);
+    }
+    rx.disable_notifications();
+    backend_.tx_vq(pair).disable_interrupts();
   }
-  rx.disable_notifications();
-  backend_.tx_vq().disable_interrupts();
   backend_.write_status(kStatusAcknowledge | kStatusDriver |
                         kStatusFeaturesOk | kStatusDriverOk);
   os.attach_netdev(*this);
@@ -38,8 +52,9 @@ void VirtioNetFrontend::negotiate() {
   ES2_CHECK_MSG(ok, "device rejected its own feature offer");
   backend_.write_status(kStatusAcknowledge | kStatusDriver |
                         kStatusFeaturesOk);
-  backend_.enable_queue(0, true);
-  backend_.enable_queue(1, true);
+  for (int q = 0; q < backend_.num_queues(); ++q) {
+    backend_.enable_queue(q, true);
+  }
 }
 
 void VirtioNetFrontend::wake_tx_waiters() {
@@ -50,16 +65,30 @@ void VirtioNetFrontend::wake_tx_waiters() {
 }
 
 bool VirtioNetFrontend::owns_vector(Vector v) const {
-  return v == backend_.rx_msi().vector || v == backend_.tx_msi().vector;
+  for (int pair = 0; pair < backend_.num_queue_pairs(); ++pair) {
+    if (v == backend_.rx_msi(pair).vector || v == backend_.tx_msi(pair).vector)
+      return true;
+  }
+  return false;
 }
 
-void VirtioNetFrontend::handle_irq(Vcpu& vcpu, Vector) {
+void VirtioNetFrontend::handle_irq(Vcpu& vcpu, Vector vector) {
+  // MSI-X routing: each queue pair owns two vectors; NAPI runs on the pair
+  // the vector belongs to, leaving other pairs' suppression state alone.
+  int pair = 0;
+  for (int p = 0; p < backend_.num_queue_pairs(); ++p) {
+    if (vector == backend_.rx_msi(p).vector ||
+        vector == backend_.tx_msi(p).vector) {
+      pair = p;
+      break;
+    }
+  }
   const GuestParams& p = os_.params();
-  vcpu.guest_exec(p.hardirq, [this, &vcpu] {
-    // napi_schedule: mask this device's interrupts until polling drains.
-    backend_.rx_vq().disable_interrupts();
-    backend_.tx_vq().disable_interrupts();
-    napi_scheduled_ = true;
+  vcpu.guest_exec(p.hardirq, [this, &vcpu, pair] {
+    // napi_schedule: mask this pair's interrupts until polling drains.
+    backend_.rx_vq(pair).disable_interrupts();
+    backend_.tx_vq(pair).disable_interrupts();
+    napi_scheduled_[static_cast<std::size_t>(pair)] = true;
 #if ES2_TRACE_ENABLED
     if (Tracer* tr = active_tracer(vcpu.vm().host().sim())) {
       tr->emit(vcpu.vm().host().sim().now(), TraceKind::kNotifyDisable,
@@ -67,11 +96,11 @@ void VirtioNetFrontend::handle_irq(Vcpu& vcpu, Vector) {
                tr->current_service(vcpu.vm().id(), vcpu.index()));
     }
 #endif
-    vcpu.guest_eoi([this, &vcpu] {
+    vcpu.guest_eoi([this, &vcpu, pair] {
       const GuestParams& p = os_.params();
-      vcpu.guest_exec(p.softirq_entry, [this, &vcpu] {
-        napi_poll(vcpu, [this, &vcpu] {
-          napi_scheduled_ = false;
+      vcpu.guest_exec(p.softirq_entry, [this, &vcpu, pair] {
+        napi_poll(vcpu, pair, [this, &vcpu, pair] {
+          napi_scheduled_[static_cast<std::size_t>(pair)] = false;
           vcpu.irq_done();
         });
       });
@@ -79,7 +108,8 @@ void VirtioNetFrontend::handle_irq(Vcpu& vcpu, Vector) {
   });
 }
 
-void VirtioNetFrontend::napi_poll(Vcpu& vcpu, std::function<void()> done) {
+void VirtioNetFrontend::napi_poll(Vcpu& vcpu, int pair,
+                                  std::function<void()> done) {
 #if ES2_TRACE_ENABLED
   if (Tracer* tr = active_tracer(vcpu.vm().host().sim())) {
     tr->emit(vcpu.vm().host().sim().now(), TraceKind::kNapiPoll,
@@ -87,8 +117,8 @@ void VirtioNetFrontend::napi_poll(Vcpu& vcpu, std::function<void()> done) {
              tr->current_service(vcpu.vm().id(), vcpu.index()));
   }
 #endif
-  reclaim_tx(vcpu, [this, &vcpu, done = std::move(done)]() mutable {
-    napi_poll_one(vcpu, os_.params().napi_weight, std::move(done));
+  reclaim_tx(vcpu, pair, [this, &vcpu, pair, done = std::move(done)]() mutable {
+    napi_poll_one(vcpu, pair, os_.params().napi_weight, std::move(done));
   });
 }
 
@@ -111,41 +141,44 @@ Cycles rx_packet_cost(const GuestParams& p, const Packet& pkt) {
 }
 }  // namespace
 
-void VirtioNetFrontend::napi_poll_one(Vcpu& vcpu, int budget_left,
+void VirtioNetFrontend::napi_poll_one(Vcpu& vcpu, int pair, int budget_left,
                                       std::function<void()> done) {
-  Virtqueue& rx = backend_.rx_vq();
+  Virtqueue& rx = backend_.rx_vq(pair);
   auto entry = rx.pop_used();
   if (!entry) {
-    finish_poll(vcpu, std::move(done));
+    finish_poll(vcpu, pair, std::move(done));
     return;
   }
   ES2_CHECK_MSG(entry->packet != nullptr, "used RX entry without a packet");
   const Cycles cost = rx_packet_cost(os_.params(), *entry->packet);
   PacketPtr packet = entry->packet;
-  vcpu.guest_exec(cost, [this, &vcpu, budget_left, packet = std::move(packet),
+  vcpu.guest_exec(cost, [this, &vcpu, pair, budget_left,
+                         packet = std::move(packet),
                          done = std::move(done)]() mutable {
     ++rx_polled_;
+    ++rx_polled_by_pair_[static_cast<std::size_t>(pair)];
     os_.deliver_to_stack(
         vcpu, packet,
-        [this, &vcpu, budget_left, done = std::move(done)]() mutable {
+        [this, &vcpu, pair, budget_left, done = std::move(done)]() mutable {
           // Linux reschedules the softirq when the budget is spent; the
           // net effect under sustained load is continued polling, which is
           // what we model.
           const int next_budget =
               budget_left > 1 ? budget_left - 1 : os_.params().napi_weight;
-          napi_poll_one(vcpu, next_budget, std::move(done));
+          napi_poll_one(vcpu, pair, next_budget, std::move(done));
         });
   });
 }
 
-void VirtioNetFrontend::finish_poll(Vcpu& vcpu, std::function<void()> done) {
-  refill_rx(vcpu, [this, &vcpu, done = std::move(done)]() mutable {
-    Virtqueue& rx = backend_.rx_vq();
+void VirtioNetFrontend::finish_poll(Vcpu& vcpu, int pair,
+                                    std::function<void()> done) {
+  refill_rx(vcpu, pair, [this, &vcpu, pair, done = std::move(done)]() mutable {
+    Virtqueue& rx = backend_.rx_vq(pair);
     rx.enable_interrupts();
     if (rx.used_count() > 0) {
       // Race: more packets completed between the last poll and re-enable.
       rx.disable_interrupts();
-      napi_poll_one(vcpu, os_.params().napi_weight, std::move(done));
+      napi_poll_one(vcpu, pair, os_.params().napi_weight, std::move(done));
       return;
     }
 #if ES2_TRACE_ENABLED
@@ -158,7 +191,7 @@ void VirtioNetFrontend::finish_poll(Vcpu& vcpu, std::function<void()> done) {
     // TX-completion interrupts are armed only while senders wait on a
     // stopped queue; otherwise virtio-net leaves them off.
     if (!tx_waiters_.empty()) {
-      backend_.tx_vq().enable_interrupts();
+      backend_.tx_vq(pair).enable_interrupts();
 #if ES2_TRACE_ENABLED
       if (Tracer* tr = active_tracer(vcpu.vm().host().sim())) {
         tr->emit(vcpu.vm().host().sim().now(), TraceKind::kNotifyEnable,
@@ -171,8 +204,9 @@ void VirtioNetFrontend::finish_poll(Vcpu& vcpu, std::function<void()> done) {
   });
 }
 
-void VirtioNetFrontend::reclaim_tx(Vcpu& vcpu, std::function<void()> done) {
-  Virtqueue& tx = backend_.tx_vq();
+void VirtioNetFrontend::reclaim_tx(Vcpu& vcpu, int pair,
+                                   std::function<void()> done) {
+  Virtqueue& tx = backend_.tx_vq(pair);
   int freed = 0;
   while (tx.pop_used()) ++freed;
   if (freed == 0) {
@@ -191,8 +225,9 @@ void VirtioNetFrontend::reclaim_tx(Vcpu& vcpu, std::function<void()> done) {
   });
 }
 
-void VirtioNetFrontend::refill_rx(Vcpu& vcpu, std::function<void()> done) {
-  Virtqueue& rx = backend_.rx_vq();
+void VirtioNetFrontend::refill_rx(Vcpu& vcpu, int pair,
+                                  std::function<void()> done) {
+  Virtqueue& rx = backend_.rx_vq(pair);
   int added = 0;
   bool kick = false;
   while (rx.free_slots() > 0) {
@@ -207,10 +242,12 @@ void VirtioNetFrontend::refill_rx(Vcpu& vcpu, std::function<void()> done) {
   }
   const Cycles cost =
       static_cast<Cycles>(added) * os_.params().rx_refill_per_buffer;
-  vcpu.guest_exec(cost, [this, &vcpu, kick, done = std::move(done)]() mutable {
+  vcpu.guest_exec(cost, [this, &vcpu, pair, kick,
+                         done = std::move(done)]() mutable {
     if (kick) {
       ++kicks_;
-      vcpu.guest_io_kick([this] { backend_.notify_rx(); }, std::move(done));
+      vcpu.guest_io_kick([this, pair] { backend_.notify_rx(pair); },
+                         std::move(done));
       return;
     }
 #if ES2_TRACE_ENABLED
@@ -225,9 +262,23 @@ void VirtioNetFrontend::refill_rx(Vcpu& vcpu, std::function<void()> done) {
   });
 }
 
+void VirtioNetFrontend::refill_all_rx(Vcpu& vcpu, int pair,
+                                      std::function<void()> done) {
+  if (pair >= backend_.num_queue_pairs()) {
+    done();
+    return;
+  }
+  refill_rx(vcpu, pair, [this, &vcpu, pair, done = std::move(done)]() mutable {
+    refill_all_rx(vcpu, pair + 1, std::move(done));
+  });
+}
+
 void VirtioNetFrontend::transmit(Vcpu& vcpu, PacketPtr packet,
                                  std::function<void(bool)> done) {
-  Virtqueue& tx = backend_.tx_vq();
+  // XPS-style steering: TX follows the same RSS hash the host uses for RX,
+  // so a flow's two directions stay on one queue pair.
+  const int pair = backend_.steer_pair(packet->proto, packet->flow);
+  Virtqueue& tx = backend_.tx_vq(pair);
   // start_xmit frees completed descriptors inline (cost folded into the
   // caller's per-packet send cost).
   while (tx.pop_used()) {
@@ -251,7 +302,7 @@ void VirtioNetFrontend::transmit(Vcpu& vcpu, PacketPtr packet,
   ES2_CHECK(ok);
   if (tx.kick_needed()) {
     ++kicks_;
-    vcpu.guest_io_kick([this] { backend_.notify_tx(); },
+    vcpu.guest_io_kick([this, pair] { backend_.notify_tx(pair); },
                        [done = std::move(done)] { done(true); });
     return;
   }
@@ -266,107 +317,129 @@ void VirtioNetFrontend::transmit(Vcpu& vcpu, PacketPtr packet,
 
 void VirtioNetFrontend::tx_watchdog_tick(Vcpu& vcpu,
                                          std::function<void()> done) {
-  Virtqueue& tx = backend_.tx_vq();
-  const std::int64_t used_now = tx.total_used();
-  // TX stall signature: descriptors posted, zero completion progress since
-  // the last tick, and the host sleeping with notifications armed — meaning
-  // it expects a kick that evidently never arrived. Anything else resets the
-  // strike counter (a kick may legitimately be in flight at sampling time).
-  const bool tx_stalled = tx.avail_count() > 0 &&
-                          used_now == watchdog_last_used_ &&
-                          tx.notifications_enabled();
-  watchdog_last_used_ = used_now;
-  // RX missed-interrupt signature (the e1000 watchdog's trick): completed
-  // buffers parked in the used ring, zero consumption progress since the
-  // last tick, device interrupts armed, and no NAPI pass in flight — the
-  // MSI that should have started one evidently never landed, and with
-  // used_event stale no later completion will re-raise it. The progress
-  // term keeps a merely *pending* interrupt (IRR set, not yet serviced)
-  // from ever counting as a stall on healthy paths.
-  const bool rx_stalled = backend_.rx_vq().used_count() > 0 &&
-                          rx_polled_ == rx_watchdog_last_polled_ &&
-                          backend_.rx_vq().interrupts_enabled() &&
-                          !napi_scheduled_;
-  rx_watchdog_last_polled_ = rx_polled_;
+  // Sample every pair's stall signatures up front (pure reads); the
+  // recovery work below may reset queues, and the flags must reflect the
+  // state at tick entry, exactly as the single-queue driver captured them
+  // by value before the ladder stage.
+  for (int pair = 0; pair < backend_.num_queue_pairs(); ++pair) {
+    const auto i = static_cast<std::size_t>(pair);
+    Virtqueue& tx = backend_.tx_vq(pair);
+    const std::int64_t used_now = tx.total_used();
+    // TX stall signature: descriptors posted, zero completion progress
+    // since the last tick, and the host sleeping with notifications armed —
+    // meaning it expects a kick that evidently never arrived. Anything else
+    // resets the strike counter (a kick may legitimately be in flight at
+    // sampling time). Busy-poll modes keep notifications off, so the
+    // watchdog stays inert there by construction.
+    watchdog_tx_stalled_[i] = tx.avail_count() > 0 &&
+                              used_now == watchdog_last_used_[i] &&
+                              tx.notifications_enabled();
+    watchdog_last_used_[i] = used_now;
+    // RX missed-interrupt signature (the e1000 watchdog's trick): completed
+    // buffers parked in the used ring, zero consumption progress since the
+    // last tick, device interrupts armed, and no NAPI pass in flight — the
+    // MSI that should have started one evidently never landed, and with
+    // used_event stale no later completion will re-raise it. The progress
+    // term keeps a merely *pending* interrupt (IRR set, not yet serviced)
+    // from ever counting as a stall on healthy paths.
+    Virtqueue& rx = backend_.rx_vq(pair);
+    watchdog_rx_stalled_[i] = rx.used_count() > 0 &&
+                              rx_polled_by_pair_[i] ==
+                                  rx_watchdog_last_polled_[i] &&
+                              rx.interrupts_enabled() && !napi_scheduled_[i];
+    rx_watchdog_last_polled_[i] = rx_polled_by_pair_[i];
+  }
 
   // The watchdog halves run after the (usually pass-through) recovery-
   // ladder stage; a quarantined queue needs a reset, not a re-kick.
-  auto watchdog_stage = [this, &vcpu, tx_stalled, rx_stalled,
-                         done = std::move(done)]() mutable {
+  ladder_stage(vcpu, [this, &vcpu, done = std::move(done)]() mutable {
     if (!os_.params().tx_watchdog) {
-      watchdog_strikes_ = 0;
-      rx_watchdog_strikes_ = 0;
+      std::fill(watchdog_strikes_.begin(), watchdog_strikes_.end(), 0);
+      std::fill(rx_watchdog_strikes_.begin(), rx_watchdog_strikes_.end(), 0);
       done();
       return;
     }
+    watchdog_pair(vcpu, 0, std::move(done));
+  });
+}
 
-    // Second half of the tick: recover a lost RX interrupt by running the
-    // NAPI pass it would have started. Same two-strike debounce as TX — an
-    // MSI legitimately in flight at sampling time never trips it.
-    auto rx_stage = [this, &vcpu, rx_stalled,
-                     done = std::move(done)]() mutable {
-      if (!rx_stalled) {
-        rx_watchdog_strikes_ = 0;
-        done();
-        return;
-      }
-      if (++rx_watchdog_strikes_ < 2) {
-        done();
-        return;
-      }
-      rx_watchdog_strikes_ = 0;
-      ++rx_watchdog_polls_;
-      if (RecoveryLog* log = backend_.recovery_log()) {
-        log->note_action(RecoveryRung::kGuestWatchdog, kScopeRx);
-      }
-#if ES2_TRACE_ENABLED
-      if (Tracer* tr = active_tracer(vcpu.vm().host().sim())) {
-        tr->emit(vcpu.vm().host().sim().now(), TraceKind::kWatchdogRecover,
-                 vcpu.vm().id(), vcpu.index(), -1, /*arg=*/1);
-      }
-#endif
-      backend_.rx_vq().disable_interrupts();
-      backend_.tx_vq().disable_interrupts();
-      napi_scheduled_ = true;
-      vcpu.guest_exec(os_.params().softirq_entry,
-                      [this, &vcpu, done = std::move(done)]() mutable {
-                        napi_poll(vcpu,
-                                  [this, done = std::move(done)]() mutable {
-                                    napi_scheduled_ = false;
-                                    done();
-                                  });
-                      });
-    };
+void VirtioNetFrontend::watchdog_pair(Vcpu& vcpu, int pair,
+                                      std::function<void()> done) {
+  if (pair >= backend_.num_queue_pairs()) {
+    done();
+    return;
+  }
+  const auto i = static_cast<std::size_t>(pair);
+  auto next = [this, &vcpu, pair, done = std::move(done)]() mutable {
+    watchdog_pair(vcpu, pair + 1, std::move(done));
+  };
 
-    if (!tx_stalled) {
-      watchdog_strikes_ = 0;
-      rx_stage();
+  // Second half of the pair's tick: recover a lost RX interrupt by running
+  // the NAPI pass it would have started. Same two-strike debounce as TX —
+  // an MSI legitimately in flight at sampling time never trips it.
+  auto rx_stage = [this, &vcpu, pair, i, next = std::move(next)]() mutable {
+    if (!watchdog_rx_stalled_[i]) {
+      rx_watchdog_strikes_[i] = 0;
+      next();
       return;
     }
-    if (++watchdog_strikes_ < 2) {
-      rx_stage();
+    if (++rx_watchdog_strikes_[i] < 2) {
+      next();
       return;
     }
-    // Two full tick periods without progress: ndo_tx_timeout. Re-kick.
-    watchdog_strikes_ = 0;
-    ++tx_watchdog_kicks_;
-    ++kicks_;
+    rx_watchdog_strikes_[i] = 0;
+    ++rx_watchdog_polls_;
     if (RecoveryLog* log = backend_.recovery_log()) {
-      log->note_action(RecoveryRung::kGuestWatchdog, kScopeTx);
+      log->note_action(RecoveryRung::kGuestWatchdog, kScopeRx);
     }
 #if ES2_TRACE_ENABLED
     if (Tracer* tr = active_tracer(vcpu.vm().host().sim())) {
       tr->emit(vcpu.vm().host().sim().now(), TraceKind::kWatchdogRecover,
-               vcpu.vm().id(), vcpu.index(), -1, /*arg=*/0);
+               vcpu.vm().id(), vcpu.index(), -1, /*arg=*/1);
     }
 #endif
-    vcpu.guest_exec(os_.params().tx_watchdog_rekick,
-                    [this, &vcpu, rx_stage = std::move(rx_stage)]() mutable {
-                      vcpu.guest_io_kick([this] { backend_.notify_tx(); },
-                                         std::move(rx_stage));
+    backend_.rx_vq(pair).disable_interrupts();
+    backend_.tx_vq(pair).disable_interrupts();
+    napi_scheduled_[i] = true;
+    vcpu.guest_exec(os_.params().softirq_entry,
+                    [this, &vcpu, pair, i, next = std::move(next)]() mutable {
+                      napi_poll(vcpu, pair,
+                                [this, i, next = std::move(next)]() mutable {
+                                  napi_scheduled_[i] = false;
+                                  next();
+                                });
                     });
   };
-  ladder_stage(vcpu, std::move(watchdog_stage));
+
+  if (!watchdog_tx_stalled_[i]) {
+    watchdog_strikes_[i] = 0;
+    rx_stage();
+    return;
+  }
+  if (++watchdog_strikes_[i] < 2) {
+    rx_stage();
+    return;
+  }
+  // Two full tick periods without progress: ndo_tx_timeout. Re-kick.
+  watchdog_strikes_[i] = 0;
+  ++tx_watchdog_kicks_;
+  ++kicks_;
+  if (RecoveryLog* log = backend_.recovery_log()) {
+    log->note_action(RecoveryRung::kGuestWatchdog, kScopeTx);
+  }
+#if ES2_TRACE_ENABLED
+  if (Tracer* tr = active_tracer(vcpu.vm().host().sim())) {
+    tr->emit(vcpu.vm().host().sim().now(), TraceKind::kWatchdogRecover,
+             vcpu.vm().id(), vcpu.index(), -1, /*arg=*/0);
+  }
+#endif
+  vcpu.guest_exec(os_.params().tx_watchdog_rekick,
+                  [this, &vcpu, pair,
+                   rx_stage = std::move(rx_stage)]() mutable {
+                    vcpu.guest_io_kick([this, pair] {
+                      backend_.notify_tx(pair);
+                    }, std::move(rx_stage));
+                  });
 }
 
 void VirtioNetFrontend::ladder_stage(Vcpu& vcpu, std::function<void()> done) {
@@ -377,23 +450,32 @@ void VirtioNetFrontend::ladder_stage(Vcpu& vcpu, std::function<void()> done) {
   }
   if (!backend_.needs_reset()) {
     // Healthy (or recovered): the episode is over, escalation state decays.
-    ladder_recent_[0] = 0;
-    ladder_recent_[1] = 0;
+    std::fill(ladder_recent_.begin(), ladder_recent_.end(), 0);
     done();
     return;
   }
-  const bool q0 = backend_.queue(0).pending_fault() != RingFault::kNone;
-  const bool q1 = backend_.queue(1).pending_fault() != RingFault::kNone;
-  if ((q0 && q1) || (!q0 && !q1) ||
-      ladder_recent_[0] >= p.ladder_device_reset_after ||
-      ladder_recent_[1] >= p.ladder_device_reset_after) {
-    // Device-wide damage (both queues quarantined, or NEEDS_RESET with no
+  int first_quarantined = -1;
+  int quarantined = 0;
+  bool repeat_offender = false;
+  for (int q = 0; q < backend_.num_queues(); ++q) {
+    if (backend_.queue(q).pending_fault() != RingFault::kNone) {
+      if (first_quarantined < 0) first_quarantined = q;
+      ++quarantined;
+    }
+    if (ladder_recent_[static_cast<std::size_t>(q)] >=
+        p.ladder_device_reset_after) {
+      repeat_offender = true;
+    }
+  }
+  if (quarantined == 0 || quarantined == backend_.num_queues() ||
+      repeat_offender) {
+    // Device-wide damage (every queue quarantined, or NEEDS_RESET with no
     // queue-level diagnosis) or a queue that keeps coming back: top rung.
     guest_reset_device(vcpu, std::move(done));
     return;
   }
-  const int q = q0 ? 0 : 1;
-  ++ladder_recent_[q];
+  const int q = first_quarantined;
+  ++ladder_recent_[static_cast<std::size_t>(q)];
   guest_reset_queue(vcpu, q, std::move(done));
 }
 
@@ -403,13 +485,14 @@ void VirtioNetFrontend::guest_reset_queue(Vcpu& vcpu, int q,
   vcpu.guest_exec(os_.params().queue_reset_cost,
                   [this, &vcpu, q, done = std::move(done)]() mutable {
     backend_.reset_queue(q);
-    if (q == 0) {
+    const auto pair = static_cast<std::size_t>(q / 2);
+    if (q % 2 == 0) {
       // Fresh TX ring: boot suppression state, blocked senders retry into
       // it (their in-flight descriptors are gone; TCP retransmit covers
       // the lost segments).
-      backend_.tx_vq().disable_interrupts();
-      watchdog_last_used_ = 0;
-      watchdog_strikes_ = 0;
+      backend_.tx_vq(q / 2).disable_interrupts();
+      watchdog_last_used_[pair] = 0;
+      watchdog_strikes_[pair] = 0;
       wake_tx_waiters();
       done();
       return;
@@ -417,30 +500,31 @@ void VirtioNetFrontend::guest_reset_queue(Vcpu& vcpu, int q,
     // Fresh RX ring: re-post every buffer; the ring's notifications come
     // back enabled, so the refill kicks the backend into draining the
     // socket backlog that piled up during the quarantine.
-    rx_watchdog_strikes_ = 0;
-    refill_rx(vcpu, std::move(done));
+    rx_watchdog_strikes_[pair] = 0;
+    refill_rx(vcpu, q / 2, std::move(done));
   });
 }
 
 void VirtioNetFrontend::guest_reset_device(Vcpu& vcpu,
                                            std::function<void()> done) {
   ++ladder_device_resets_;
-  ladder_recent_[0] = 0;
-  ladder_recent_[1] = 0;
+  std::fill(ladder_recent_.begin(), ladder_recent_.end(), 0);
   vcpu.guest_exec(os_.params().device_reset_cost,
                   [this, &vcpu, done = std::move(done)]() mutable {
     backend_.write_status(0);
     negotiate();
     vcpu.guest_exec(os_.params().renegotiate_cost,
                     [this, &vcpu, done = std::move(done)]() mutable {
-      backend_.tx_vq().disable_interrupts();
+      for (int pair = 0; pair < backend_.num_queue_pairs(); ++pair) {
+        backend_.tx_vq(pair).disable_interrupts();
+      }
       backend_.write_status(kStatusAcknowledge | kStatusDriver |
                             kStatusFeaturesOk | kStatusDriverOk);
-      watchdog_last_used_ = 0;
-      watchdog_strikes_ = 0;
-      rx_watchdog_strikes_ = 0;
+      std::fill(watchdog_last_used_.begin(), watchdog_last_used_.end(), 0);
+      std::fill(watchdog_strikes_.begin(), watchdog_strikes_.end(), 0);
+      std::fill(rx_watchdog_strikes_.begin(), rx_watchdog_strikes_.end(), 0);
       wake_tx_waiters();
-      refill_rx(vcpu, std::move(done));
+      refill_all_rx(vcpu, 0, std::move(done));
     });
   });
 }
@@ -487,24 +571,37 @@ void VirtioNetFrontend::register_lifecycle_metrics(MetricsRegistry& registry) {
 }
 
 void VirtioNetFrontend::snapshot_lifecycle_state(SnapshotWriter& w) const {
-  w.put_u32(static_cast<std::uint32_t>(ladder_recent_[0]));
-  w.put_u32(static_cast<std::uint32_t>(ladder_recent_[1]));
+  for (int recent : ladder_recent_) {
+    w.put_u32(static_cast<std::uint32_t>(recent));
+  }
   w.put_i64(ladder_queue_resets_);
   w.put_i64(ladder_device_resets_);
 }
 
 void VirtioNetFrontend::snapshot_state(SnapshotWriter& w) const {
-  w.put_bool(napi_scheduled_);
+  // Pair 0 keeps the exact pre-MQ field order (and therefore byte layout);
+  // additional pairs append their state only when negotiated, so
+  // single-queue images are bit-identical to older ones.
+  w.put_bool(napi_scheduled_[0]);
   w.put_u32(static_cast<std::uint32_t>(tx_waiters_.size()));
   w.put_i64(tx_stops_);
   w.put_i64(rx_polled_);
   w.put_i64(kicks_);
-  w.put_i64(watchdog_last_used_);
-  w.put_u32(static_cast<std::uint32_t>(watchdog_strikes_));
+  w.put_i64(watchdog_last_used_[0]);
+  w.put_u32(static_cast<std::uint32_t>(watchdog_strikes_[0]));
   w.put_i64(tx_watchdog_kicks_);
-  w.put_i64(rx_watchdog_last_polled_);
-  w.put_u32(static_cast<std::uint32_t>(rx_watchdog_strikes_));
+  w.put_i64(rx_watchdog_last_polled_[0]);
+  w.put_u32(static_cast<std::uint32_t>(rx_watchdog_strikes_[0]));
   w.put_i64(rx_watchdog_polls_);
+  for (int pair = 1; pair < backend_.num_queue_pairs(); ++pair) {
+    const auto i = static_cast<std::size_t>(pair);
+    w.put_bool(napi_scheduled_[i]);
+    w.put_i64(watchdog_last_used_[i]);
+    w.put_u32(static_cast<std::uint32_t>(watchdog_strikes_[i]));
+    w.put_i64(rx_watchdog_last_polled_[i]);
+    w.put_u32(static_cast<std::uint32_t>(rx_watchdog_strikes_[i]));
+    w.put_i64(rx_polled_by_pair_[i]);
+  }
 }
 
 }  // namespace es2

@@ -104,17 +104,25 @@ class VirtioNetFrontend {
   void ladder_stage(Vcpu& vcpu, std::function<void()> done);
   void guest_reset_queue(Vcpu& vcpu, int q, std::function<void()> done);
   void guest_reset_device(Vcpu& vcpu, std::function<void()> done);
+  /// Watchdog halves for one queue pair; chains to the next pair.
+  void watchdog_pair(Vcpu& vcpu, int pair, std::function<void()> done);
+  /// Chains refill_rx across pairs [pair, N).
+  void refill_all_rx(Vcpu& vcpu, int pair, std::function<void()> done);
   void wake_tx_waiters();
-  void napi_poll(Vcpu& vcpu, std::function<void()> done);
-  void napi_poll_one(Vcpu& vcpu, int budget_left, std::function<void()> done);
-  void finish_poll(Vcpu& vcpu, std::function<void()> done);
+  void napi_poll(Vcpu& vcpu, int pair, std::function<void()> done);
+  void napi_poll_one(Vcpu& vcpu, int pair, int budget_left,
+                     std::function<void()> done);
+  void finish_poll(Vcpu& vcpu, int pair, std::function<void()> done);
   /// Frees completed TX descriptors; wakes stopped-queue waiters.
-  void reclaim_tx(Vcpu& vcpu, std::function<void()> done);
-  void refill_rx(Vcpu& vcpu, std::function<void()> done);
+  void reclaim_tx(Vcpu& vcpu, int pair, std::function<void()> done);
+  void refill_rx(Vcpu& vcpu, int pair, std::function<void()> done);
 
   GuestOs& os_;
   VhostNetBackend& backend_;
-  bool napi_scheduled_ = false;
+  // Per-queue-pair NAPI/watchdog state (index = pair). Single-queue
+  // devices only ever touch index 0, which keeps their snapshot bytes and
+  // event sequences identical to the pre-MQ driver.
+  std::vector<bool> napi_scheduled_;
   std::vector<GuestTask*> tx_waiters_;
   std::int64_t tx_stops_ = 0;
   std::int64_t rx_polled_ = 0;
@@ -122,16 +130,23 @@ class VirtioNetFrontend {
   // TX watchdog state: completion count at the last tick plus a strike
   // counter — a re-kick needs the stall to persist across two ticks, so a
   // kick legitimately in flight at sampling time never trips it.
-  std::int64_t watchdog_last_used_ = 0;
-  int watchdog_strikes_ = 0;
+  std::vector<std::int64_t> watchdog_last_used_;
+  std::vector<int> watchdog_strikes_;
   std::int64_t tx_watchdog_kicks_ = 0;
-  std::int64_t rx_watchdog_last_polled_ = 0;
-  int rx_watchdog_strikes_ = 0;
+  std::vector<std::int64_t> rx_watchdog_last_polled_;
+  std::vector<int> rx_watchdog_strikes_;
   std::int64_t rx_watchdog_polls_ = 0;
+  // Per-pair NAPI consumption counters (rx_polled_ stays the aggregate
+  // telemetry; the per-pair values feed each pair's RX watchdog).
+  std::vector<std::int64_t> rx_polled_by_pair_;
+  // Stall flags sampled at the top of each watchdog tick (members, not
+  // locals, to keep the tick allocation-free).
+  std::vector<char> watchdog_tx_stalled_;
+  std::vector<char> watchdog_rx_stalled_;
   // Recovery-ladder state (snapshot via snapshot_lifecycle_state only):
-  // queue resets performed per queue within the current DEVICE_NEEDS_RESET
-  // episode (decays once the device reports healthy again).
-  int ladder_recent_[2] = {0, 0};
+  // queue resets performed per flat queue index within the current
+  // DEVICE_NEEDS_RESET episode (decays once the device reports healthy).
+  std::vector<int> ladder_recent_;
   std::int64_t ladder_queue_resets_ = 0;
   std::int64_t ladder_device_resets_ = 0;
 };

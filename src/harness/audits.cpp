@@ -128,10 +128,12 @@ InvariantAuditor::Check cfs_core_check(const Core& core) {
 
 void register_standard_checks(InvariantAuditor& auditor, Vm& vm,
                               VhostNetBackend& backend, CfsScheduler& sched) {
-  auditor.add_check("vq/" + backend.tx_vq().name(),
-                    virtqueue_check(backend.tx_vq()));
-  auditor.add_check("vq/" + backend.rx_vq().name(),
-                    virtqueue_check(backend.rx_vq()));
+  for (int pair = 0; pair < backend.num_queue_pairs(); ++pair) {
+    auditor.add_check("vq/" + backend.tx_vq(pair).name(),
+                      virtqueue_check(backend.tx_vq(pair)));
+    auditor.add_check("vq/" + backend.rx_vq(pair).name(),
+                      virtqueue_check(backend.rx_vq(pair)));
+  }
   auditor.add_check("lifecycle/" + vm.name(), device_lifecycle_check(backend));
   for (int i = 0; i < vm.num_vcpus(); ++i) {
     auditor.add_check(format("lapic/vcpu%d", i), lapic_check(vm.vcpu(i)));

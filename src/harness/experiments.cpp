@@ -36,6 +36,17 @@ TestbedOptions testbed_options(const Es2Config& config, bool macro,
   return o;
 }
 
+/// Maps the StreamOptions dataplane axes (queue pairs, ring layout, poll
+/// mode) onto the testbed. Defaults leave the options untouched, so
+/// pre-dataplane configs keep their exact construction sequence.
+void apply_dataplane(TestbedOptions& to, const StreamOptions& opts) {
+  to.vhost_params.num_queue_pairs = opts.num_queue_pairs;
+  to.vhost_params.ring_layout = opts.ring_layout;
+  to.poll_mode = opts.poll_mode;
+  to.poll_interval = opts.poll_interval;
+  to.adaptive_poll_budget = opts.adaptive_poll_budget;
+}
+
 /// The netperf endpoints for one stream scenario, attached in a fixed
 /// order so healthy and chaos runs build identical object graphs.
 struct StreamWorkload {
@@ -236,6 +247,7 @@ struct StreamWindow {
 
 StreamResult run_stream(const StreamOptions& opts) {
   TestbedOptions to = testbed_options(opts.config, opts.macro, opts.seed);
+  apply_dataplane(to, opts);
   to.trace = opts.trace;
   to.metrics = opts.metrics;
   to.snapshot = opts.snapshot;
@@ -268,6 +280,7 @@ namespace {
 TestbedOptions chaos_testbed_options(const ChaosStreamOptions& opts) {
   TestbedOptions to =
       testbed_options(opts.stream.config, opts.stream.macro, opts.stream.seed);
+  apply_dataplane(to, opts.stream);
   to.faults = opts.faults;
   to.audit = opts.audit;
   to.audit_period = opts.audit_period;

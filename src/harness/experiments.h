@@ -112,6 +112,14 @@ struct StreamOptions {
   /// Dup-ACK fast-retransmit threshold for the peer's TCP sender
   /// (peer->VM streams only); <= 0 keeps RTO-only recovery.
   int dupack_threshold = 0;
+  /// Dataplane shape: virtio-net queue pairs (RSS-steered when > 1) and
+  /// the ring layout both sides negotiate.
+  int num_queue_pairs = 1;
+  RingLayout ring_layout = RingLayout::kSplit;
+  /// Vhost worker service discipline (see TestbedOptions::poll_mode).
+  PollMode poll_mode = PollMode::kNotify;
+  SimDuration poll_interval = usec(2);
+  SimDuration adaptive_poll_budget = usec(50);
   std::uint64_t seed = 1;
   SimDuration warmup = msec(200);
   SimDuration measure = msec(800);

@@ -44,6 +44,14 @@ Testbed::Testbed(TestbedOptions options) : options_(std::move(options)) {
       [this](PacketPtr p) { backend_->receive_from_wire(std::move(p)); });
   frontend_ = std::make_unique<VirtioNetFrontend>(*guests_[0], *backend_);
   es2_->enable_for(host_->vm(0), *backend_);
+  if (o.poll_mode != PollMode::kNotify) {
+    // Busy-poll dataplane: the worker spins on the rings instead of
+    // sleeping on kicks. Mode goes to the worker first so the backend's
+    // poll-source registration sees it.
+    worker_->set_poll_mode(o.poll_mode, o.poll_interval,
+                           o.adaptive_poll_budget);
+    backend_->set_poll_mode(o.poll_mode);
+  }
 
   if (o.faults.enabled()) {
     faults_ = std::make_unique<FaultInjector>(*sim_, o.faults);
@@ -176,6 +184,11 @@ void Testbed::register_all_metrics() {
   for (auto& guest : guests_) guest->register_metrics(registry_);
   worker_->register_metrics(registry_);
   backend_->register_metrics(registry_);
+  // Poll counters exist only when a polling mode is armed, keeping the
+  // frozen instrument set of notify-mode runs unchanged.
+  if (options_.poll_mode != PollMode::kNotify) {
+    worker_->register_poll_metrics(registry_);
+  }
   link_->a_to_b.register_metrics(registry_, "vm_to_peer");
   link_->b_to_a.register_metrics(registry_, "peer_to_vm");
   if (faults_) faults_->register_metrics(registry_);

@@ -52,6 +52,15 @@ struct TestbedOptions {
   CostModel costs;
   GuestParams guest_params;
   VhostNetParams vhost_params;
+  /// Vhost worker service discipline. kNotify is the stock kick/sleep
+  /// path; kAlwaysPoll spins on the rings exit-lessly (SPDK-style);
+  /// kAdaptive polls for `adaptive_poll_budget` after the last completed
+  /// work, then re-arms notifications and sleeps.
+  PollMode poll_mode = PollMode::kNotify;
+  /// Spin re-check cadence while the rings are empty in a polling mode.
+  SimDuration poll_interval = usec(2);
+  /// kAdaptive only: how long past the last work the worker keeps spinning.
+  SimDuration adaptive_poll_budget = usec(50);
   int guest_timer_hz = 250;
   /// Seeded fault plan. All-zero (the default) builds no injector at all,
   /// so healthy runs draw zero fault RNG numbers and stay bit-identical.

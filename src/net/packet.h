@@ -63,6 +63,23 @@ inline void snapshot_packet(SnapshotWriter& w, const PacketPtr& p) {
   w.put_u64(p->probe_id);
 }
 
+/// RSS flow hash (FNV-1a). The model's flow id already identifies a
+/// connection — it stands in for the src/dst address+port of a real
+/// 5-tuple; the protocol completes it. Deterministic across runs and
+/// platforms, so same-seed steering decisions are reproducible.
+inline std::uint32_t rss_hash(Proto proto, std::uint64_t flow) {
+  std::uint64_t h = 14695981039346656037ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(static_cast<std::uint64_t>(proto));
+  mix(flow);
+  return static_cast<std::uint32_t>(h ^ (h >> 32));
+}
+
 /// Number of MTU-sized segments a message of `bytes` payload occupies.
 constexpr int segments_for(Bytes bytes) {
   const Bytes per_seg = kMtu - kTcpUdpHeader;

@@ -27,8 +27,27 @@ inline constexpr std::uint8_t kStatusFailed = 0x80;
 // semantics (the suppression protocol in Virtqueue); the others exist so
 // negotiation has a real subset computation to get wrong/renegotiate.
 inline constexpr std::uint64_t kFeatureMrgRxBuf = 1ull << 15;
+inline constexpr std::uint64_t kFeatureMq = 1ull << 22;  // VIRTIO_NET_F_MQ
 inline constexpr std::uint64_t kFeatureEventIdx = 1ull << 29;  // RING_F_EVENT_IDX
 inline constexpr std::uint64_t kFeatureVersion1 = 1ull << 32;
+inline constexpr std::uint64_t kFeatureRingPacked = 1ull << 34;  // VIRTIO_F_RING_PACKED
+
+/// Virtqueue memory layout (virtio 1.0 split vs. virtio 1.1 packed). The
+/// layout is a per-device negotiation outcome (VIRTIO_F_RING_PACKED); both
+/// present identical transfer semantics — the ring-conformance suite holds
+/// the two implementations to that contract.
+enum class RingLayout : std::uint8_t {
+  kSplit = 0,   // avail/used rings + free-running EVENT_IDX counters
+  kPacked = 1,  // single descriptor ring + avail/used wrap counters
+};
+
+inline const char* ring_layout_name(RingLayout l) {
+  switch (l) {
+    case RingLayout::kSplit: return "split";
+    case RingLayout::kPacked: return "packed";
+  }
+  return "?";
+}
 
 /// What ring-integrity checking found in a shared ring. Detection flags
 /// DEVICE_NEEDS_RESET; it never asserts, because at production scale a
@@ -41,6 +60,7 @@ enum class RingFault : std::uint8_t {
   kDuplicateHead,    // a head handed out while still in flight
   kHandlerWedge,     // backend handler eating activations without progress
   kWorkerCrash,      // vhost worker died; queue orphaned until restart
+  kBadWrapCounter,   // packed ring: wrap counter disagrees with the indices
 };
 
 inline const char* ring_fault_name(RingFault f) {
@@ -52,6 +72,27 @@ inline const char* ring_fault_name(RingFault f) {
     case RingFault::kDuplicateHead: return "duplicate_head";
     case RingFault::kHandlerWedge: return "handler_wedge";
     case RingFault::kWorkerCrash: return "worker_crash";
+    case RingFault::kBadWrapCounter: return "bad_wrap_counter";
+  }
+  return "?";
+}
+
+/// vhost worker service disciplines. kNotify is the classic kick-driven
+/// worker (and the substrate ES2's Algorithm 1 modulates); the poll modes
+/// model exit-less busy-poll backends (SPDK-style): kAlwaysPoll spins on
+/// the avail rings forever, kAdaptive spins for a poll budget after the
+/// last completed work and then re-arms notifications and sleeps.
+enum class PollMode : std::uint8_t {
+  kNotify = 0,
+  kAlwaysPoll = 1,
+  kAdaptive = 2,
+};
+
+inline const char* poll_mode_name(PollMode m) {
+  switch (m) {
+    case PollMode::kNotify: return "notify";
+    case PollMode::kAlwaysPoll: return "always_poll";
+    case PollMode::kAdaptive: return "adaptive";
   }
   return "?";
 }

@@ -1,5 +1,7 @@
 #include "virtio/vhost.h"
 
+#include <algorithm>
+
 #include "base/assert.h"
 #include "base/strings.h"
 #include "fault/fault.h"
@@ -80,6 +82,30 @@ void VhostWorker::crash_and_restart(SimDuration restart_delay) {
                worker_core(*this));
     }
 #endif
+    // A notify-mode worker is re-woken by the next kick; a polling worker
+    // has no kicks coming (notifications are disabled) and must resume
+    // its spin loop itself.
+    if (poll_mode_ != PollMode::kNotify) thread_.wake();
+  });
+}
+
+void VhostWorker::set_poll_mode(PollMode mode, SimDuration poll_interval,
+                                SimDuration adaptive_budget) {
+  poll_mode_ = mode;
+  poll_interval_ = poll_interval;
+  adaptive_budget_ = adaptive_budget;
+  // A polling worker cannot rely on a first kick to start its spin loop
+  // (notifications may already be suppressed); enter it at t=0.
+  if (mode != PollMode::kNotify) thread_.wake();
+}
+
+void VhostWorker::register_poll_metrics(MetricsRegistry& registry) {
+  MetricLabels labels = {{"worker", thread_.name()}};
+  registry.probe("vhost.worker.poll_spins", labels, [this] {
+    return static_cast<double>(poll_spins_);
+  });
+  registry.probe("vhost.worker.poll_harvests", labels, [this] {
+    return static_cast<double>(poll_harvests_);
   });
 }
 
@@ -101,6 +127,36 @@ void VhostWorker::snapshot_lifecycle_state(SnapshotWriter& w) const {
 
 void VhostWorker::main_loop() {
   if (active_.empty()) {
+    if (poll_mode_ != PollMode::kNotify && !crashed_ &&
+        !poll_sources_.empty()) {
+      // Busy-poll idle path: scan the avail rings instead of sleeping.
+      bool found = false;
+      for (PollSource& s : poll_sources_) {
+        if (s.check && s.check()) found = true;
+      }
+      if (found) {
+        ++poll_harvests_;
+        main_loop();  // dispatch what the scan activated
+        return;
+      }
+      const SimTime now = host_.sim().now();
+      if (poll_mode_ == PollMode::kAlwaysPoll ||
+          now - last_work_ <= adaptive_budget_) {
+        ++poll_spins_;
+        thread_.exec(poll_interval_, [this] { main_loop(); });
+        return;
+      }
+      // Adaptive budget exhausted: re-arm guest notifications (the sleep
+      // edge owns the standard vhost re-check race) and go to sleep.
+      bool raced = false;
+      for (PollSource& s : poll_sources_) {
+        if (s.rearm && s.rearm()) raced = true;
+      }
+      if (raced) {
+        main_loop();
+        return;
+      }
+    }
     was_sleeping_ = true;
     thread_.block();
     return;
@@ -128,6 +184,7 @@ void VhostWorker::main_loop() {
   active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(pick));
   handler->queued_ = false;
   ++turns_;
+  last_work_ = now;  // adaptive poll budget restarts at every dispatch
   // A handler that yielded at its quota is not eligible again until its
   // round-robin turn comes back; with no other work the worker spins until
   // then (busy polling consumes the core).
@@ -168,30 +225,37 @@ void VhostWorker::main_loop() {
 
 class VhostNetBackend::TxHandler final : public VqHandler {
  public:
-  explicit TxHandler(VhostNetBackend& backend)
-      : VqHandler(backend.vm().name() + "/tx"), backend_(backend) {}
+  TxHandler(VhostNetBackend& backend, int pair)
+      : VqHandler(pair == 0
+                      ? backend.vm().name() + "/tx"
+                      : backend.vm().name() + format("/tx%d", pair)),
+        backend_(backend),
+        pair_(pair),
+        q_(2 * pair) {}
 
   void service(VhostWorker& worker,
                std::function<void(bool)> done) override {
 #if ES2_TRACE_ENABLED
     if (Tracer* tr = active_tracer(worker.host().sim())) {
       tr->emit(worker.host().sim().now(), TraceKind::kWorkerTurn, -1, -1,
-               worker_core(worker), /*arg=*/0, backend_.tx_kick_corr_);
+               worker_core(worker), static_cast<std::uint32_t>(q_),
+               backend_.tx_kick_corr_);
     }
 #endif
     // Lifecycle gate: a wedged/quarantined/disabled queue parks the turn
     // (and runs the ring-integrity check on the way in).
-    if (!backend_.pre_service(0)) {
+    if (!backend_.pre_service(q_)) {
       done(false);
       return;
     }
     // Algorithm 1 line 8-10: entering a turn disables guest notifications.
-    if (backend_.tx_vq().notifications_enabled()) {
-      backend_.tx_vq().disable_notifications();
+    if (backend_.tx_vq(pair_).notifications_enabled()) {
+      backend_.tx_vq(pair_).disable_notifications();
 #if ES2_TRACE_ENABLED
       if (Tracer* tr = active_tracer(worker.host().sim())) {
         tr->emit(worker.host().sim().now(), TraceKind::kNotifyDisable, -1, -1,
-                 worker_core(worker), /*arg=*/0, backend_.tx_kick_corr_);
+                 worker_core(worker), static_cast<std::uint32_t>(q_),
+                 backend_.tx_kick_corr_);
       }
 #endif
     }
@@ -201,7 +265,7 @@ class VhostNetBackend::TxHandler final : public VqHandler {
 
  private:
   void poll(VhostWorker& worker, std::function<void(bool)> done) {
-    Virtqueue& vq = backend_.tx_vq();
+    Virtqueue& vq = backend_.tx_vq(pair_);
     if (workload_ >= backend_.effective_quota()) {
       // High load: stay in polling mode, wait for the next turn
       // (Algorithm 1 line 15-17).
@@ -211,6 +275,12 @@ class VhostNetBackend::TxHandler final : public VqHandler {
     }
     auto entry = vq.pop_avail();
     if (!entry) {
+      if (backend_.poll_mode() != PollMode::kNotify) {
+        // Busy-poll backend: notifications never come back on; the
+        // worker's poll scan re-activates this handler when work appears.
+        done(false);
+        return;
+      }
       // Queue empty before the quota filled: the I/O load is low. Return
       // to notification mode (Algorithm 1 line 19-20), handling the
       // standard re-enable race.
@@ -223,7 +293,8 @@ class VhostNetBackend::TxHandler final : public VqHandler {
 #if ES2_TRACE_ENABLED
       if (Tracer* tr = active_tracer(worker.host().sim())) {
         tr->emit(worker.host().sim().now(), TraceKind::kNotifyEnable, -1, -1,
-                 worker_core(worker), /*arg=*/0, backend_.tx_kick_corr_);
+                 worker_core(worker), static_cast<std::uint32_t>(q_),
+                 backend_.tx_kick_corr_);
       }
 #endif
       done(false);
@@ -233,7 +304,7 @@ class VhostNetBackend::TxHandler final : public VqHandler {
     const std::int64_t epoch = vq.reset_epoch();
     worker.exec(cost, [this, &worker, epoch, entry = std::move(*entry),
                        done = std::move(done)]() mutable {
-      Virtqueue& vq = backend_.tx_vq();
+      Virtqueue& vq = backend_.tx_vq(pair_);
       if (vq.reset_epoch() != epoch) {
         // The queue was reset mid-flight: this turn's view of the ring is
         // stale and the descriptor is gone. The packet is dropped (the
@@ -243,16 +314,17 @@ class VhostNetBackend::TxHandler final : public VqHandler {
       }
       backend_.tx_link_.transmit(entry.packet);
       ++backend_.tx_packets_;
+      ++backend_.pair_tx_packets_[static_cast<std::size_t>(pair_)];
       vq.push_used(Virtqueue::Entry{nullptr, 0});
       backend_.note_progress(kScopeTx);
       if (vq.interrupt_needed()) {
         ++backend_.tx_irqs_;
-        backend_.raise_msi(backend_.tx_msi_);
+        backend_.raise_msi(backend_.tx_msi(pair_));
       } else {
 #if ES2_TRACE_ENABLED
         if (Tracer* tr = active_tracer(worker.host().sim())) {
           tr->emit(worker.host().sim().now(), TraceKind::kIrqSuppressed, -1,
-                   -1, worker_core(worker), /*arg=*/0,
+                   -1, worker_core(worker), static_cast<std::uint32_t>(q_),
                    backend_.tx_kick_corr_);
         }
 #endif
@@ -263,6 +335,8 @@ class VhostNetBackend::TxHandler final : public VqHandler {
   }
 
   VhostNetBackend& backend_;
+  const int pair_;
+  const int q_;  // flat queue index (2 * pair_)
   int workload_ = 0;
 };
 
@@ -272,27 +346,34 @@ class VhostNetBackend::TxHandler final : public VqHandler {
 
 class VhostNetBackend::RxHandler final : public VqHandler {
  public:
-  explicit RxHandler(VhostNetBackend& backend)
-      : VqHandler(backend.vm().name() + "/rx"), backend_(backend) {}
+  RxHandler(VhostNetBackend& backend, int pair)
+      : VqHandler(pair == 0
+                      ? backend.vm().name() + "/rx"
+                      : backend.vm().name() + format("/rx%d", pair)),
+        backend_(backend),
+        pair_(pair),
+        q_(2 * pair + 1) {}
 
   void service(VhostWorker& worker,
                std::function<void(bool)> done) override {
 #if ES2_TRACE_ENABLED
     if (Tracer* tr = active_tracer(worker.host().sim())) {
       tr->emit(worker.host().sim().now(), TraceKind::kWorkerTurn, -1, -1,
-               worker_core(worker), /*arg=*/1, backend_.rx_kick_corr_);
+               worker_core(worker), static_cast<std::uint32_t>(q_),
+               backend_.rx_kick_corr_);
     }
 #endif
-    if (!backend_.pre_service(1)) {
+    if (!backend_.pre_service(q_)) {
       done(false);
       return;
     }
-    if (backend_.rx_vq().notifications_enabled()) {
-      backend_.rx_vq().disable_notifications();
+    if (backend_.rx_vq(pair_).notifications_enabled()) {
+      backend_.rx_vq(pair_).disable_notifications();
 #if ES2_TRACE_ENABLED
       if (Tracer* tr = active_tracer(worker.host().sim())) {
         tr->emit(worker.host().sim().now(), TraceKind::kNotifyDisable, -1, -1,
-                 worker_core(worker), /*arg=*/1, backend_.rx_kick_corr_);
+                 worker_core(worker), static_cast<std::uint32_t>(q_),
+                 backend_.rx_kick_corr_);
       }
 #endif
     }
@@ -302,7 +383,7 @@ class VhostNetBackend::RxHandler final : public VqHandler {
 
  private:
   void poll(VhostWorker& worker, std::function<void(bool)> done) {
-    Virtqueue& vq = backend_.rx_vq();
+    Virtqueue& vq = backend_.rx_vq(pair_);
     // Ingress draining is bounded by the vhost weight, NOT the ES2 quota:
     // Algorithm 1 throttles guest *notifications*; wire traffic is not a
     // guest I/O request.
@@ -310,13 +391,20 @@ class VhostNetBackend::RxHandler final : public VqHandler {
       done(true);
       return;
     }
-    if (backend_.sock_buf_.empty()) {
+    std::deque<PacketPtr>& sock_buf = backend_.sock_buf(pair_);
+    if (sock_buf.empty()) {
       // No more ingress traffic. Refill notifications stay disabled — the
       // handler reactivates on wire arrivals, not guest kicks.
       done(false);
       return;
     }
     if (!vq.has_avail()) {
+      if (backend_.poll_mode() != PollMode::kNotify) {
+        // Busy-poll backend: the poll scan notices when the guest posts
+        // fresh receive buffers; no refill notification needed.
+        done(false);
+        return;
+      }
       // Out of guest receive buffers: arm the refill notification so the
       // guest's next buffer post kicks us awake (with the re-check race).
       if (vq.enable_notifications()) {
@@ -327,7 +415,8 @@ class VhostNetBackend::RxHandler final : public VqHandler {
 #if ES2_TRACE_ENABLED
       if (Tracer* tr = active_tracer(worker.host().sim())) {
         tr->emit(worker.host().sim().now(), TraceKind::kNotifyEnable, -1, -1,
-                 worker_core(worker), /*arg=*/1, backend_.rx_kick_corr_);
+                 worker_core(worker), static_cast<std::uint32_t>(q_),
+                 backend_.rx_kick_corr_);
       }
 #endif
       // Under fault injection the refill kick itself may be swallowed:
@@ -336,13 +425,13 @@ class VhostNetBackend::RxHandler final : public VqHandler {
       done(false);
       return;
     }
-    PacketPtr packet = backend_.sock_buf_.front();
-    backend_.sock_buf_.pop_front();
+    PacketPtr packet = sock_buf.front();
+    sock_buf.pop_front();
     const Cycles cost = backend_.rx_cost(packet);
     const std::int64_t epoch = vq.reset_epoch();
     worker.exec(cost, [this, &worker, epoch, packet = std::move(packet),
                        done = std::move(done)]() mutable {
-      Virtqueue& vq = backend_.rx_vq();
+      Virtqueue& vq = backend_.rx_vq(pair_);
       if (vq.reset_epoch() != epoch) {
         // Reset raced the copy: the buffer this packet was headed for no
         // longer exists. Drop it; the sender retransmits.
@@ -352,16 +441,17 @@ class VhostNetBackend::RxHandler final : public VqHandler {
       auto buffer = vq.pop_avail();
       ES2_CHECK(buffer.has_value());
       ++backend_.rx_packets_;
+      ++backend_.pair_rx_packets_[static_cast<std::size_t>(pair_)];
       vq.push_used(Virtqueue::Entry{packet, packet->wire_size});
       backend_.note_progress(kScopeRx);
       if (vq.interrupt_needed()) {
         ++backend_.rx_irqs_;
-        backend_.raise_msi(backend_.rx_msi_);
+        backend_.raise_msi(backend_.rx_msi(pair_));
       } else {
 #if ES2_TRACE_ENABLED
         if (Tracer* tr = active_tracer(worker.host().sim())) {
           tr->emit(worker.host().sim().now(), TraceKind::kIrqSuppressed, -1,
-                   -1, worker_core(worker), /*arg=*/1,
+                   -1, worker_core(worker), static_cast<std::uint32_t>(q_),
                    backend_.rx_kick_corr_);
         }
 #endif
@@ -372,7 +462,40 @@ class VhostNetBackend::RxHandler final : public VqHandler {
   }
 
   VhostNetBackend& backend_;
+  const int pair_;
+  const int q_;  // flat queue index (2 * pair_ + 1)
   int workload_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// ExtraPair — rings/handlers/buffers for queue pairs beyond pair 0
+// ---------------------------------------------------------------------------
+
+struct VhostNetBackend::ExtraPair {
+  Virtqueue tx;
+  Virtqueue rx;
+  std::unique_ptr<TxHandler> tx_handler;
+  std::unique_ptr<RxHandler> rx_handler;
+  std::deque<PacketPtr> sock_buf;
+  MsiMessage tx_msi;
+  MsiMessage rx_msi;
+
+  ExtraPair(VhostNetBackend& backend, int pair)
+      : tx(backend.vm().name() + format("/txq%d", pair),
+           backend.params().vq_capacity, backend.params().ring_layout),
+        rx(backend.vm().name() + format("/rxq%d", pair),
+           backend.params().vq_capacity, backend.params().ring_layout),
+        tx_handler(std::make_unique<TxHandler>(backend, pair)),
+        rx_handler(std::make_unique<RxHandler>(backend, pair)) {
+    // Each pair gets its own MSI vectors (continuing pair 0's layout of
+    // kFirstDeviceVector+1/+2) with guest affinity spread across vCPUs —
+    // the standard irqbalance-style queue->vCPU mapping.
+    const int vcpus = backend.vm().num_vcpus();
+    tx_msi = MsiMessage{static_cast<Vector>(kFirstDeviceVector + 1 + 2 * pair),
+                        pair % vcpus, DeliveryMode::kLowestPriority};
+    rx_msi = MsiMessage{static_cast<Vector>(kFirstDeviceVector + 2 + 2 * pair),
+                        pair % vcpus, DeliveryMode::kLowestPriority};
+  }
 };
 
 // ---------------------------------------------------------------------------
@@ -385,22 +508,140 @@ VhostNetBackend::VhostNetBackend(Vm& vm, VhostWorker& worker, Link& tx_link,
       worker_(worker),
       tx_link_(tx_link),
       params_(params),
-      tx_vq_(vm.name() + "/txq", params.vq_capacity),
-      rx_vq_(vm.name() + "/rxq", params.vq_capacity),
+      tx_vq_(vm.name() + "/txq", params.vq_capacity, params.ring_layout),
+      rx_vq_(vm.name() + "/rxq", params.vq_capacity, params.ring_layout),
       rng_(vm.host().sim().make_rng("vhost/" + vm.name())) {
-  tx_handler_ = std::make_unique<TxHandler>(*this);
-  rx_handler_ = std::make_unique<RxHandler>(*this);
+  ES2_CHECK_MSG(params_.num_queue_pairs >= 1,
+                "vhost-net needs at least one queue pair");
+  tx_handler_ = std::make_unique<TxHandler>(*this, 0);
+  rx_handler_ = std::make_unique<RxHandler>(*this, 0);
   // Default MSI identities: virtio-net queue vectors, guest affinity on
   // vCPU 0, lowest-priority delivery (Linux apic_flat default).
   tx_msi_ = MsiMessage{static_cast<Vector>(kFirstDeviceVector + 1), 0,
                        DeliveryMode::kLowestPriority};
   rx_msi_ = MsiMessage{static_cast<Vector>(kFirstDeviceVector + 2), 0,
                        DeliveryMode::kLowestPriority};
+  for (int p = 1; p < params_.num_queue_pairs; ++p) {
+    extra_pairs_.push_back(std::make_unique<ExtraPair>(*this, p));
+  }
+  const std::size_t nq = static_cast<std::size_t>(num_queues());
+  wedged_.assign(nq, false);
+  selfcheck_strikes_.assign(nq, 0);
+  selfcheck_last_progress_.assign(nq, 0);
+  const std::size_t np = static_cast<std::size_t>(num_queue_pairs());
+  pair_tx_packets_.assign(np, 0);
+  pair_rx_packets_.assign(np, 0);
+  // Boot pre-negotiated with everything on offer acked (packed/MQ bits
+  // included when configured); the frontend renegotiates from scratch.
+  features_acked_ = features_offered();
 }
 
 VhostNetBackend::~VhostNetBackend() = default;
 
 void VhostNetBackend::set_poll_quota(int quota) { poll_quota_ = quota; }
+
+Virtqueue& VhostNetBackend::tx_vq(int pair) {
+  return pair == 0 ? tx_vq_
+                   : extra_pairs_[static_cast<std::size_t>(pair - 1)]->tx;
+}
+
+Virtqueue& VhostNetBackend::rx_vq(int pair) {
+  return pair == 0 ? rx_vq_
+                   : extra_pairs_[static_cast<std::size_t>(pair - 1)]->rx;
+}
+
+std::deque<PacketPtr>& VhostNetBackend::sock_buf(int pair) {
+  return pair == 0 ? sock_buf_
+                   : extra_pairs_[static_cast<std::size_t>(pair - 1)]->sock_buf;
+}
+
+VhostNetBackend::TxHandler& VhostNetBackend::tx_handler(int pair) {
+  return pair == 0
+             ? *tx_handler_
+             : *extra_pairs_[static_cast<std::size_t>(pair - 1)]->tx_handler;
+}
+
+VhostNetBackend::RxHandler& VhostNetBackend::rx_handler(int pair) {
+  return pair == 0
+             ? *rx_handler_
+             : *extra_pairs_[static_cast<std::size_t>(pair - 1)]->rx_handler;
+}
+
+const MsiMessage& VhostNetBackend::tx_msi(int pair) const {
+  return pair == 0 ? tx_msi_
+                   : extra_pairs_[static_cast<std::size_t>(pair - 1)]->tx_msi;
+}
+
+const MsiMessage& VhostNetBackend::rx_msi(int pair) const {
+  return pair == 0 ? rx_msi_
+                   : extra_pairs_[static_cast<std::size_t>(pair - 1)]->rx_msi;
+}
+
+int VhostNetBackend::steer_pair(Proto proto, std::uint64_t flow) const {
+  if (params_.num_queue_pairs <= 1) return 0;
+  return static_cast<int>(
+      rss_hash(proto, flow) %
+      static_cast<std::uint32_t>(params_.num_queue_pairs));
+}
+
+void VhostNetBackend::set_poll_mode(PollMode mode) {
+  poll_mode_ = mode;
+  if (mode == PollMode::kNotify) return;
+  VhostWorker::PollSource source;
+  source.check = [this] { return poll_check(); };
+  source.rearm = [this] { return poll_rearm(); };
+  worker_.add_poll_source(std::move(source));
+  if (mode == PollMode::kAlwaysPoll) {
+    // Exit-less dataplane: the guest never finds notifications enabled,
+    // so kick_needed() is permanently false and no I/O exits happen.
+    for (int q = 0; q < num_queues(); ++q) queue(q).disable_notifications();
+  }
+}
+
+bool VhostNetBackend::poll_check() {
+  bool any = false;
+  for (int p = 0; p < num_queue_pairs(); ++p) {
+    const int txq = 2 * p;
+    const int rxq = 2 * p + 1;
+    if (queue_operational(txq) && !wedged_[static_cast<std::size_t>(txq)] &&
+        tx_vq(p).has_avail() && !tx_handler(p).queued()) {
+      worker_.activate(tx_handler(p));
+      any = true;
+    }
+    if (queue_operational(rxq) && !wedged_[static_cast<std::size_t>(rxq)] &&
+        !sock_buf(p).empty() && rx_vq(p).has_avail() &&
+        !rx_handler(p).queued()) {
+      worker_.activate(rx_handler(p));
+      any = true;
+    }
+  }
+  return any;
+}
+
+bool VhostNetBackend::poll_rearm() {
+  bool raced = false;
+  for (int p = 0; p < num_queue_pairs(); ++p) {
+    if (!queue_operational(2 * p) && !queue_operational(2 * p + 1)) continue;
+    Virtqueue& tx = tx_vq(p);
+    if (tx.enable_notifications()) {
+      tx.disable_notifications();
+      worker_.activate(tx_handler(p));
+      raced = true;
+    }
+    // The RX handler is woken by wire arrivals, not guest kicks; the only
+    // kick it ever needs is the buffer-refill one, and only while ingress
+    // is actually stuck waiting on guest buffers.
+    Virtqueue& rx = rx_vq(p);
+    if (!sock_buf(p).empty()) {
+      if (rx.has_avail() || rx.enable_notifications()) {
+        rx.disable_notifications();
+        worker_.activate(rx_handler(p));
+        raced = true;
+      }
+    }
+  }
+  return raced;
+}
 
 Cycles VhostNetBackend::jittered(Cycles c) {
   if (params_.cost_jitter <= 0) return c;
@@ -458,39 +699,40 @@ void VhostNetBackend::raise_msi_now(const MsiMessage& msi) {
   vm_.host().router().deliver_msi(vm_, msi);
 }
 
-void VhostNetBackend::notify_tx() {
+void VhostNetBackend::notify_tx(int pair) {
 #if ES2_TRACE_ENABLED
   if (Tracer* tr = active_tracer(vm_.host().sim())) {
     // A TX kick opens a fresh journey: everything the handler does on its
     // next turn is on this kick's behalf.
     tx_kick_corr_ = tr->begin_journey();
     tr->emit(vm_.host().sim().now(), TraceKind::kKick, vm_.id(), -1, -1,
-             /*arg=*/0, tx_kick_corr_);
+             static_cast<std::uint32_t>(2 * pair), tx_kick_corr_);
   }
 #endif
-  if (kick_blocked(0)) return;
+  if (kick_blocked(2 * pair)) return;
   if (faults_ != nullptr) {
     switch (faults_->kick_fate()) {
       case FaultInjector::KickFate::kDrop:
 #if ES2_TRACE_ENABLED
         if (Tracer* tr = active_tracer(vm_.host().sim())) {
           tr->emit(vm_.host().sim().now(), TraceKind::kKickDrop, vm_.id(), -1,
-                   -1, /*arg=*/0, tx_kick_corr_);
+                   -1, static_cast<std::uint32_t>(2 * pair), tx_kick_corr_);
         }
 #endif
         return;
       case FaultInjector::KickFate::kDelay:
-        vm_.host().sim().after(faults_->kick_delay(),
-                               [this] { worker_.activate(*tx_handler_); });
+        vm_.host().sim().after(faults_->kick_delay(), [this, pair] {
+          worker_.activate(tx_handler(pair));
+        });
         return;
       case FaultInjector::KickFate::kDeliver:
         break;
     }
   }
-  worker_.activate(*tx_handler_);
+  worker_.activate(tx_handler(pair));
 }
 
-void VhostNetBackend::notify_rx() {
+void VhostNetBackend::notify_rx(int pair) {
 #if ES2_TRACE_ENABLED
   std::uint64_t refill_corr = 0;
   if (Tracer* tr = active_tracer(vm_.host().sim())) {
@@ -498,29 +740,30 @@ void VhostNetBackend::notify_rx() {
     // but leave rx_kick_corr_ (the data-path journey) alone.
     refill_corr = tr->begin_journey();
     tr->emit(vm_.host().sim().now(), TraceKind::kKick, vm_.id(), -1, -1,
-             /*arg=*/1, refill_corr);
+             static_cast<std::uint32_t>(2 * pair + 1), refill_corr);
   }
 #endif
-  if (kick_blocked(1)) return;
+  if (kick_blocked(2 * pair + 1)) return;
   if (faults_ != nullptr) {
     switch (faults_->kick_fate()) {
       case FaultInjector::KickFate::kDrop:
 #if ES2_TRACE_ENABLED
         if (Tracer* tr = active_tracer(vm_.host().sim())) {
           tr->emit(vm_.host().sim().now(), TraceKind::kKickDrop, vm_.id(), -1,
-                   -1, /*arg=*/1, refill_corr);
+                   -1, static_cast<std::uint32_t>(2 * pair + 1), refill_corr);
         }
 #endif
         return;
       case FaultInjector::KickFate::kDelay:
-        vm_.host().sim().after(faults_->kick_delay(),
-                               [this] { worker_.activate(*rx_handler_); });
+        vm_.host().sim().after(faults_->kick_delay(), [this, pair] {
+          worker_.activate(rx_handler(pair));
+        });
         return;
       case FaultInjector::KickFate::kDeliver:
         break;
     }
   }
-  worker_.activate(*rx_handler_);
+  worker_.activate(rx_handler(pair));
 }
 
 // ---------------------------------------------------------------------------
@@ -529,17 +772,21 @@ void VhostNetBackend::notify_rx() {
 
 void VhostNetBackend::write_status(std::uint8_t status) {
   if (status == 0) {
-    // Full device reset (virtio 1.1 §2.4.2): quiesce both queues, drop
+    // Full device reset (virtio 1.1 §2.4.2): quiesce every queue, drop
     // quarantines and wedges, forget the negotiated features. Stale
     // in-flight completions are dropped by the reset-epoch guard; MSI
     // identities and the ES2 poll quota survive (host module state the
     // driver re-programs identically).
-    tx_vq_.reset();
-    rx_vq_.reset();
-    tx_vq_.set_enabled(false);
-    rx_vq_.set_enabled(false);
-    wedged_[0] = wedged_[1] = false;
-    selfcheck_strikes_[0] = selfcheck_strikes_[1] = 0;
+    for (int q = 0; q < num_queues(); ++q) {
+      Virtqueue& vq = queue(q);
+      vq.reset();
+      vq.set_enabled(false);
+      // reset() re-enables notifications; an exit-less backend keeps them
+      // off across resets (the poll scan is the only wakeup path).
+      if (poll_mode_ == PollMode::kAlwaysPoll) vq.disable_notifications();
+    }
+    std::fill(wedged_.begin(), wedged_.end(), false);
+    std::fill(selfcheck_strikes_.begin(), selfcheck_strikes_.end(), 0);
     status_ = 0;
     features_acked_ = 0;
     ++device_resets_;
@@ -587,28 +834,34 @@ void VhostNetBackend::reset_queue(int q) {
   Virtqueue& vq = queue(q);
   vq.reset();
   vq.set_enabled(true);
-  wedged_[q] = false;
-  selfcheck_strikes_[q] = 0;
+  if (poll_mode_ == PollMode::kAlwaysPoll) vq.disable_notifications();
+  wedged_[static_cast<std::size_t>(q)] = false;
+  selfcheck_strikes_[static_cast<std::size_t>(q)] = 0;
   ++queue_resets_;
   if (recovery_log_ != nullptr) {
-    recovery_log_->note_action(RecoveryRung::kQueueReset, q);
+    recovery_log_->note_action(RecoveryRung::kQueueReset, q % 2);
   }
-  if (tx_vq_.pending_fault() == RingFault::kNone &&
-      rx_vq_.pending_fault() == RingFault::kNone) {
+  bool any_quarantined = false;
+  for (int i = 0; i < num_queues(); ++i) {
+    if (queue(i).pending_fault() != RingFault::kNone) any_quarantined = true;
+  }
+  if (!any_quarantined) {
     status_ &= static_cast<std::uint8_t>(~kStatusDeviceNeedsReset);
   }
 #if ES2_TRACE_ENABLED
   if (Tracer* tr = active_tracer(vm_.host().sim())) {
     tr->emit(vm_.host().sim().now(), TraceKind::kQueueReset, vm_.id(), -1,
              worker_core(worker_), static_cast<std::uint32_t>(q),
-             fault_corr_[q]);
+             fault_corr_[q % 2]);
   }
 #endif
 }
 
 bool VhostNetBackend::pre_service(int q) {
   Virtqueue& vq = queue(q);
-  if (wedged_[q]) return false;  // eats the activation, does no work
+  if (wedged_[static_cast<std::size_t>(q)]) {
+    return false;  // eats the activation, does no work
+  }
   if (!driver_ok() || !vq.enabled()) return false;
   if (vq.pending_fault() != RingFault::kNone) return false;  // quarantined
   const RingFault f = vq.check_integrity();
@@ -627,7 +880,7 @@ void VhostNetBackend::on_ring_fault(int q, RingFault f) {
   if (Tracer* tr = active_tracer(vm_.host().sim())) {
     tr->emit(vm_.host().sim().now(), TraceKind::kRingFault, vm_.id(), -1,
              worker_core(worker_), static_cast<std::uint32_t>(f),
-             fault_corr_[q]);
+             fault_corr_[q % 2]);
   }
 #endif
 }
@@ -650,13 +903,15 @@ void VhostNetBackend::note_progress(int scope) {
   }
 }
 
+bool VhostNetBackend::queue_operational(int q) {
+  return driver_ok() && queue(q).enabled() &&
+         queue(q).pending_fault() == RingFault::kNone;
+}
+
 bool VhostNetBackend::kick_blocked(int q) {
   // A wedged handler still *receives* kicks (it eats the turns); only a
   // non-operational device swallows them at the ioeventfd.
-  if (driver_ok() && queue(q).enabled() &&
-      queue(q).pending_fault() == RingFault::kNone) {
-    return false;
-  }
+  if (queue_operational(q)) return false;
   ++kicks_ignored_;
   return true;
 }
@@ -701,15 +956,21 @@ void VhostNetBackend::inject_avail_tear() {
   ++tear_seq_;
   Virtqueue& vq = queue(q);
   if (vq.pending_fault() != RingFault::kNone) return;
-  vq.inject_avail_tear();
+  if (vq.layout() == RingLayout::kPacked) {
+    // The packed analogue of a torn index write: the wrap counter no
+    // longer matches the published descriptor position.
+    vq.inject_wrap_tear();
+  } else {
+    vq.inject_avail_tear();
+  }
   open_fault(LifecycleFault::kAvailTear, q);
 }
 
 void VhostNetBackend::inject_handler_wedge() {
   const int q = wedge_seq_ & 1;
   ++wedge_seq_;
-  if (wedged_[q]) return;
-  wedged_[q] = true;
+  if (wedged_[static_cast<std::size_t>(q)]) return;
+  wedged_[static_cast<std::size_t>(q)] = true;
   open_fault(LifecycleFault::kHandlerWedge, q);
 }
 
@@ -720,51 +981,55 @@ void VhostNetBackend::inject_worker_crash(SimDuration restart_delay) {
 }
 
 VqHandler& VhostNetBackend::handler_of(int q) {
-  return q == 0 ? static_cast<VqHandler&>(*tx_handler_)
-                : static_cast<VqHandler&>(*rx_handler_);
+  return q % 2 == 0 ? static_cast<VqHandler&>(tx_handler(q / 2))
+                    : static_cast<VqHandler&>(rx_handler(q / 2));
 }
 
 void VhostNetBackend::arm_lifecycle_selfcheck() {
   if (selfcheck_armed_ || params_.lifecycle_selfcheck_period <= 0) return;
   selfcheck_armed_ = true;
-  selfcheck_last_progress_[0] = tx_packets_;
-  selfcheck_last_progress_[1] = rx_packets_;
+  for (int q = 0; q < num_queues(); ++q) {
+    selfcheck_last_progress_[static_cast<std::size_t>(q)] =
+        progress_counter(q);
+  }
   selfcheck_ = vm_.host().sim().after(params_.lifecycle_selfcheck_period,
                                       [this] { lifecycle_selfcheck_tick(); });
 }
 
 void VhostNetBackend::lifecycle_selfcheck_tick() {
-  for (int q = 0; q < 2; ++q) {
+  for (int q = 0; q < num_queues(); ++q) {
+    const std::size_t qi = static_cast<std::size_t>(q);
     Virtqueue& vq = queue(q);
     const std::int64_t progress = progress_counter(q);
-    const bool progressed = progress != selfcheck_last_progress_[q];
-    selfcheck_last_progress_[q] = progress;
+    const bool progressed = progress != selfcheck_last_progress_[qi];
+    selfcheck_last_progress_[qi] = progress;
     // Strikes freeze while the worker is down: re-activating a dead worker
     // is pointless, and the first post-restart tick should escalate from
     // where the stall left off.
     if (worker_.crashed()) continue;
-    const bool work =
-        q == 0 ? vq.has_avail() : (!sock_buf_.empty() && vq.has_avail());
+    const bool work = q % 2 == 0
+                          ? vq.has_avail()
+                          : (!sock_buf(q / 2).empty() && vq.has_avail());
     VqHandler& h = handler_of(q);
     if (!work || progressed || h.queued() || !vq.enabled() ||
         vq.pending_fault() != RingFault::kNone || !driver_ok()) {
-      selfcheck_strikes_[q] = 0;
+      selfcheck_strikes_[qi] = 0;
       continue;
     }
-    ++selfcheck_strikes_[q];
-    if (selfcheck_strikes_[q] == 1) {
+    ++selfcheck_strikes_[qi];
+    if (selfcheck_strikes_[qi] == 1) {
       // First strike: assume a lost activation (swallowed kick, worker
       // crash) and re-poll in its place — the vhost re-poll rung.
       ++selfcheck_repolls_;
       if (recovery_log_ != nullptr) {
-        recovery_log_->note_action(RecoveryRung::kVhostRepoll, q);
+        recovery_log_->note_action(RecoveryRung::kVhostRepoll, q % 2);
       }
       worker_.activate(h);
     } else {
       // Re-polling didn't help: the handler is eating turns without
       // making progress. Declare it wedged and quarantine the queue; the
       // guest ladder takes it from here.
-      selfcheck_strikes_[q] = 0;
+      selfcheck_strikes_[qi] = 0;
       on_ring_fault(q, RingFault::kHandlerWedge);
     }
   }
@@ -808,12 +1073,13 @@ void VhostNetBackend::register_lifecycle_metrics(MetricsRegistry& registry) {
 void VhostNetBackend::snapshot_lifecycle_state(SnapshotWriter& w) const {
   w.put_u8(status_);
   w.put_u64(features_acked_);
-  w.put_bool(wedged_[0]);
-  w.put_bool(wedged_[1]);
-  w.put_u32(static_cast<std::uint32_t>(selfcheck_strikes_[0]));
-  w.put_u32(static_cast<std::uint32_t>(selfcheck_strikes_[1]));
-  w.put_i64(selfcheck_last_progress_[0]);
-  w.put_i64(selfcheck_last_progress_[1]);
+  for (bool wedged : wedged_) w.put_bool(wedged);
+  for (int strikes : selfcheck_strikes_) {
+    w.put_u32(static_cast<std::uint32_t>(strikes));
+  }
+  for (std::int64_t progress : selfcheck_last_progress_) {
+    w.put_i64(progress);
+  }
   w.put_u32(static_cast<std::uint32_t>(corrupt_seq_));
   w.put_u32(static_cast<std::uint32_t>(tear_seq_));
   w.put_u32(static_cast<std::uint32_t>(wedge_seq_));
@@ -825,26 +1091,36 @@ void VhostNetBackend::snapshot_lifecycle_state(SnapshotWriter& w) const {
   w.put_i64(renegotiations_);
   tx_vq_.snapshot_lifecycle_state(w);
   rx_vq_.snapshot_lifecycle_state(w);
+  for (const auto& pair : extra_pairs_) {
+    pair->tx.snapshot_lifecycle_state(w);
+    pair->rx.snapshot_lifecycle_state(w);
+  }
 }
 
 void VhostNetBackend::arm_rx_repoll() {
   if (faults_ == nullptr || params_.rx_repoll_period <= 0) return;
   if (rx_repoll_.pending()) return;
   rx_repoll_ = vm_.host().sim().after(params_.rx_repoll_period, [this] {
-    if (sock_buf_.empty()) return;  // drained meanwhile, nothing to recover
-    if (rx_vq_.has_avail()) {
-      // Buffers appeared but the handler is still asleep: the refill kick
-      // was lost. Re-poll in its place.
-      ++rx_repolls_;
-      worker_.activate(*rx_handler_);
-      return;
+    bool still_waiting = false;
+    for (int p = 0; p < num_queue_pairs(); ++p) {
+      if (sock_buf(p).empty()) continue;  // drained, nothing to recover
+      if (rx_vq(p).has_avail()) {
+        // Buffers appeared but the handler is still asleep: the refill
+        // kick was lost. Re-poll in its place.
+        ++rx_repolls_;
+        worker_.activate(rx_handler(p));
+      } else {
+        still_waiting = true;  // still waiting on guest buffers
+      }
     }
-    arm_rx_repoll();  // still waiting on guest buffers
+    if (still_waiting) arm_rx_repoll();
   });
 }
 
 void VhostNetBackend::receive_from_wire(PacketPtr packet) {
-  if (static_cast<int>(sock_buf_.size()) >= params_.sock_buffer) {
+  const int pair = steer_pair(packet->proto, packet->flow);
+  std::deque<PacketPtr>& buf = sock_buf(pair);
+  if (static_cast<int>(buf.size()) >= params_.sock_buffer) {
     ++rx_dropped_;
     return;
   }
@@ -854,11 +1130,11 @@ void VhostNetBackend::receive_from_wire(PacketPtr packet) {
     // journey's origin (latest arrival wins the batch's id).
     rx_kick_corr_ = tr->begin_journey();
     tr->emit(vm_.host().sim().now(), TraceKind::kWireRx, vm_.id(), -1, -1,
-             /*arg=*/0, rx_kick_corr_);
+             static_cast<std::uint32_t>(pair), rx_kick_corr_);
   }
 #endif
-  sock_buf_.push_back(std::move(packet));
-  worker_.activate(*rx_handler_);
+  buf.push_back(std::move(packet));
+  worker_.activate(rx_handler(pair));
 }
 
 void VhostWorker::register_metrics(MetricsRegistry& registry) {
@@ -901,10 +1177,16 @@ void VhostNetBackend::register_metrics(MetricsRegistry& registry) {
     return static_cast<double>(rx_repolls_);
   });
   registry.probe("vhost.rx.sock_backlog", labels, [this] {
-    return static_cast<double>(sock_buf_.size());
+    std::size_t total = sock_buf_.size();
+    for (const auto& pair : extra_pairs_) total += pair->sock_buf.size();
+    return static_cast<double>(total);
   });
   tx_vq_.register_metrics(registry, vm_.name());
   rx_vq_.register_metrics(registry, vm_.name());
+  for (const auto& pair : extra_pairs_) {
+    pair->tx.register_metrics(registry, vm_.name());
+    pair->rx.register_metrics(registry, vm_.name());
+  }
 }
 
 void VhostWorker::snapshot_state(SnapshotWriter& w) const {
@@ -919,6 +1201,14 @@ void VhostWorker::snapshot_state(SnapshotWriter& w) const {
   w.put_u64(turns_);
   w.put_u64(wakeups_);
   thread_.snapshot_state(w);
+  if (poll_mode_ != PollMode::kNotify) {
+    // Poll-mode fields are appended so notify-mode images keep their
+    // exact es2-snap-v1 byte layout.
+    w.put_u8(static_cast<std::uint8_t>(poll_mode_));
+    w.put_i64(last_work_);
+    w.put_i64(poll_spins_);
+    w.put_i64(poll_harvests_);
+  }
 }
 
 void VhostNetBackend::snapshot_state(SnapshotWriter& w) const {
@@ -927,6 +1217,14 @@ void VhostNetBackend::snapshot_state(SnapshotWriter& w) const {
   rx_vq_.snapshot_state(w);
   w.put_u32(static_cast<std::uint32_t>(sock_buf_.size()));
   for (const PacketPtr& p : sock_buf_) snapshot_packet(w, p);
+  // Extra queue pairs append after pair 0 so single-queue devices keep
+  // their exact es2-snap-v1 byte layout.
+  for (const auto& pair : extra_pairs_) {
+    pair->tx.snapshot_state(w);
+    pair->rx.snapshot_state(w);
+    w.put_u32(static_cast<std::uint32_t>(pair->sock_buf.size()));
+    for (const PacketPtr& p : pair->sock_buf) snapshot_packet(w, p);
+  }
   snapshot_rng(w, rng_);
   w.put_i64(rx_dropped_);
   w.put_i64(rx_repolls_);
@@ -936,6 +1234,10 @@ void VhostNetBackend::snapshot_state(SnapshotWriter& w) const {
   w.put_i64(rx_irqs_);
   w.put_i64(tx_reverts_);
   w.put_i64(tx_quota_hits_);
+  if (params_.num_queue_pairs > 1) {
+    for (std::int64_t v : pair_tx_packets_) w.put_i64(v);
+    for (std::int64_t v : pair_rx_packets_) w.put_i64(v);
+  }
 }
 
 }  // namespace es2

@@ -25,6 +25,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "base/rng.h"
 #include "net/link.h"
@@ -71,6 +72,17 @@ class VhostWorker : public Snapshottable {
   /// bookkeeping, switching between handlers).
   static constexpr Cycles kLoopOverhead = 900;
 
+  /// A busy-poll work source (one per attached device). `check` scans the
+  /// device's avail rings and activates handlers with pending work,
+  /// returning true if it activated anything. `rearm` re-enables guest
+  /// notifications before the adaptive worker goes to sleep, returning
+  /// true if work raced in during the re-enable (the standard vhost
+  /// re-check, hoisted to the worker's sleep edge).
+  struct PollSource {
+    std::function<bool()> check;
+    std::function<bool()> rearm;
+  };
+
   /// `requeue_delay` is the latency until a handler that yielded at its
   /// quota gets its next turn (Algorithm 1 line 16: "descheduled and waits
   /// for its next turn"): cond_resched + worker round-robin + re-reads.
@@ -99,6 +111,28 @@ class VhostWorker : public Snapshottable {
 
   /// Queues a handler for service (idempotent) and wakes the thread.
   void activate(VqHandler& handler);
+
+  /// Switches the worker's idle discipline (default kNotify: sleep on
+  /// kicks). kAlwaysPoll spins on the registered poll sources forever —
+  /// the exit-less SPDK-style backend; kAdaptive spins for
+  /// `adaptive_budget` after the last dispatched work, then re-arms
+  /// notifications and sleeps. `poll_interval` is the simulated cost of
+  /// one fruitless scan of every source (ring reads + relax pause).
+  void set_poll_mode(PollMode mode, SimDuration poll_interval,
+                     SimDuration adaptive_budget);
+  PollMode poll_mode() const { return poll_mode_; }
+  void add_poll_source(PollSource source) {
+    poll_sources_.push_back(std::move(source));
+  }
+
+  /// Fruitless spin iterations / spins that found and activated work.
+  std::int64_t poll_spins() const { return poll_spins_; }
+  std::int64_t poll_harvests() const { return poll_harvests_; }
+
+  /// Poll-mode-only telemetry; registered by the harness only when a poll
+  /// mode is active (keeps the frozen instrument set — and the sampler's
+  /// snapshot bytes — unchanged for every notify-mode scenario).
+  void register_poll_metrics(MetricsRegistry& registry);
 
   /// Runs `cycles` of host work on the worker thread, then `done`
   /// (handler helper).
@@ -160,6 +194,16 @@ class VhostWorker : public Snapshottable {
   std::deque<VqHandler*> active_;
   std::uint64_t turns_ = 0;
   std::uint64_t wakeups_ = 0;
+  // Busy-poll state (inert in the default kNotify mode; snapshot fields
+  // are appended only when a poll mode is active so notify-mode images
+  // keep their exact es2-snap-v1 layout).
+  PollMode poll_mode_ = PollMode::kNotify;
+  SimDuration poll_interval_ = 0;
+  SimDuration adaptive_budget_ = 0;
+  std::vector<PollSource> poll_sources_;
+  SimTime last_work_ = 0;
+  std::int64_t poll_spins_ = 0;
+  std::int64_t poll_harvests_ = 0;
   // Lifecycle state (snapshot via snapshot_lifecycle_state only).
   bool crashed_ = false;
   std::int64_t crashes_ = 0;
@@ -193,6 +237,14 @@ struct VhostNetParams {
   /// declares the handler wedged and flags DEVICE_NEEDS_RESET. Armed only
   /// via arm_lifecycle_selfcheck (lifecycle fault scenarios).
   SimDuration lifecycle_selfcheck_period = usec(250);
+  /// virtio-net queue pairs (VIRTIO_NET_F_MQ when > 1). Ingress flows are
+  /// RSS-steered to a pair by 5-tuple hash; each pair has its own TX/RX
+  /// rings, handlers, socket buffer and MSI vectors.
+  int num_queue_pairs = 1;
+  /// Virtqueue memory layout for every queue (VIRTIO_F_RING_PACKED when
+  /// packed). Observable transfer semantics are layout-independent — the
+  /// ring-conformance suite enforces that.
+  RingLayout ring_layout = RingLayout::kSplit;
 };
 
 /// vhost-net device instance for one VM: TX + RX virtqueues, their
@@ -210,6 +262,19 @@ class VhostNetBackend : public Snapshottable {
   Virtqueue& rx_vq() { return rx_vq_; }
   const VhostNetParams& params() const { return params_; }
 
+  // --- multi-queue (VIRTIO_NET_F_MQ) ---------------------------------------
+  // Queue pair 0 is the classic TX/RX pair every existing scenario uses;
+  // pairs 1..N-1 exist only when params.num_queue_pairs > 1. Flat queue
+  // indices interleave pairs: q = 2*pair + direction (0 = TX, 1 = RX), so
+  // q 0/1 keep their historical meaning.
+
+  int num_queue_pairs() const { return params_.num_queue_pairs; }
+  int num_queues() const { return 2 * params_.num_queue_pairs; }
+  Virtqueue& tx_vq(int pair);
+  Virtqueue& rx_vq(int pair);
+  /// Steers an ingress flow to a queue pair (RSS by 5-tuple hash).
+  int steer_pair(Proto proto, std::uint64_t flow) const;
+
   /// The paper's poll_quota module parameter: turns the TX/RX handlers
   /// into Algorithm 1 hybrid handlers. Values <= 0 restore standard vhost
   /// (quota = weight).
@@ -217,10 +282,13 @@ class VhostNetBackend : public Snapshottable {
   int poll_quota() const { return poll_quota_; }
 
   /// MSI messages the device raises (guest affinity encoded in dest).
+  /// The no-arg forms address queue pair 0.
   void set_tx_msi(MsiMessage msi) { tx_msi_ = msi; }
   void set_rx_msi(MsiMessage msi) { rx_msi_ = msi; }
   const MsiMessage& tx_msi() const { return tx_msi_; }
   const MsiMessage& rx_msi() const { return rx_msi_; }
+  const MsiMessage& tx_msi(int pair) const;
+  const MsiMessage& rx_msi(int pair) const;
 
   /// Optional MSI interception for related-work baselines (interrupt
   /// coalescing): return false to swallow the interrupt — the filter
@@ -242,6 +310,13 @@ class VhostNetBackend : public Snapshottable {
   // frontend's constructor immediately performs the real negotiation
   // sequence through write_status/ack_features.
 
+  /// Installs this device as a poll source on its worker and, for
+  /// kAlwaysPoll, permanently disables guest notifications on every queue
+  /// (the exit-less dataplane: the guest never executes a kick). Call
+  /// after VhostWorker::set_poll_mode; kNotify is a no-op.
+  void set_poll_mode(PollMode mode);
+  PollMode poll_mode() const { return poll_mode_; }
+
   std::uint8_t device_status() const { return status_; }
   /// Guest status-register write. 0 performs a full device reset: both
   /// rings reset, queues disabled, wedges and quarantines cleared,
@@ -250,7 +325,10 @@ class VhostNetBackend : public Snapshottable {
   /// module state the driver re-programs identically).
   void write_status(std::uint8_t status);
   std::uint64_t features_offered() const {
-    return kFeatureMrgRxBuf | kFeatureEventIdx | kFeatureVersion1;
+    std::uint64_t f = kFeatureMrgRxBuf | kFeatureEventIdx | kFeatureVersion1;
+    if (params_.ring_layout == RingLayout::kPacked) f |= kFeatureRingPacked;
+    if (params_.num_queue_pairs > 1) f |= kFeatureMq;
+    return f;
   }
   /// Driver feature ack before FEATURES_OK; false if not a subset of the
   /// offer (the write is ignored).
@@ -261,8 +339,9 @@ class VhostNetBackend : public Snapshottable {
     return (status_ & kStatusDeviceNeedsReset) != 0;
   }
 
-  /// Queues by index (0 = TX, 1 = RX) and per-queue enable.
-  Virtqueue& queue(int q) { return q == 0 ? tx_vq_ : rx_vq_; }
+  /// Queues by flat index (2*pair + direction; 0 = TX0, 1 = RX0) and
+  /// per-queue enable.
+  Virtqueue& queue(int q) { return q % 2 == 0 ? tx_vq(q / 2) : rx_vq(q / 2); }
   void enable_queue(int q, bool on) { queue(q).set_enabled(on); }
 
   /// Device-side single-queue reset: drains/clears the ring (stale
@@ -319,8 +398,10 @@ class VhostNetBackend : public Snapshottable {
   void snapshot_lifecycle_state(SnapshotWriter& w) const;
 
   // --- guest-facing (ioeventfd side of the kick) -------------------------
-  void notify_tx();
-  void notify_rx();
+  void notify_tx() { notify_tx(0); }
+  void notify_rx() { notify_rx(0); }
+  void notify_tx(int pair);
+  void notify_rx(int pair);
 
   // --- wire-facing --------------------------------------------------------
   void receive_from_wire(PacketPtr packet);
@@ -352,6 +433,11 @@ class VhostNetBackend : public Snapshottable {
   friend class TxHandler;
   friend class RxHandler;
 
+  /// Rings, handlers, socket buffer and MSI identities for one queue pair
+  /// beyond pair 0 (which lives in the legacy members so single-queue
+  /// scenarios keep their exact construction order and snapshot bytes).
+  struct ExtraPair;
+
   Cycles tx_cost(const Virtqueue::Entry& e);
   Cycles rx_cost(const PacketPtr& p);
   Cycles jittered(Cycles c);
@@ -361,6 +447,9 @@ class VhostNetBackend : public Snapshottable {
   int effective_quota() const {
     return poll_quota_ > 0 ? poll_quota_ : params_.weight;
   }
+  std::deque<PacketPtr>& sock_buf(int pair);
+  TxHandler& tx_handler(int pair);
+  RxHandler& rx_handler(int pair);
   /// Handler turn gate: false parks the turn (wedged / disabled /
   /// quarantined queue), running the integrity check on the way in and
   /// quarantining on a fresh fault.
@@ -372,14 +461,22 @@ class VhostNetBackend : public Snapshottable {
   void open_fault(LifecycleFault mode, int scope);
   /// Completion-side recovery-ledger hook (closes matching instances).
   void note_progress(int scope);
+  /// Device operational for queue `q`: driver ready, queue enabled, not
+  /// quarantined. The kick path and the busy-poll scan share it.
+  bool queue_operational(int q);
   /// True if a kick/activation for queue `q` should be swallowed because
   /// the device is not operational for it.
   bool kick_blocked(int q);
   void lifecycle_selfcheck_tick();
   VqHandler& handler_of(int q);
   std::int64_t progress_counter(int q) const {
-    return q == 0 ? tx_packets_ : rx_packets_;
+    return q % 2 == 0 ? pair_tx_packets_[static_cast<std::size_t>(q / 2)]
+                      : pair_rx_packets_[static_cast<std::size_t>(q / 2)];
   }
+  /// Busy-poll scan: activates every handler with pending work.
+  bool poll_check();
+  /// Adaptive sleep edge: re-arm notifications, report races.
+  bool poll_rearm();
 
   Vm& vm_;
   VhostWorker& worker_;
@@ -388,10 +485,12 @@ class VhostNetBackend : public Snapshottable {
   FaultInjector* faults_ = nullptr;
   EventHandle rx_repoll_;
   int poll_quota_ = 0;
+  PollMode poll_mode_ = PollMode::kNotify;
   Virtqueue tx_vq_;
   Virtqueue rx_vq_;
   std::unique_ptr<TxHandler> tx_handler_;
   std::unique_ptr<RxHandler> rx_handler_;
+  std::vector<std::unique_ptr<ExtraPair>> extra_pairs_;
   std::deque<PacketPtr> sock_buf_;
   MsiMessage tx_msi_;
   MsiMessage rx_msi_;
@@ -405,6 +504,11 @@ class VhostNetBackend : public Snapshottable {
   std::int64_t rx_irqs_ = 0;
   std::int64_t tx_reverts_ = 0;
   std::int64_t tx_quota_hits_ = 0;
+  // Per-pair progress counters (the lifecycle self-check needs per-queue
+  // progress; the aggregate counters above remain the frozen telemetry).
+  // For pair 0 they move in lockstep with tx_packets_/rx_packets_.
+  std::vector<std::int64_t> pair_tx_packets_;
+  std::vector<std::int64_t> pair_rx_packets_;
   // Trace correlation registers: the journey id of the latest TX kick /
   // RX wire arrival, carried into worker turns and MSI raises. Written
   // only by the (compile-time gated) trace hooks; inert otherwise.
@@ -418,13 +522,13 @@ class VhostNetBackend : public Snapshottable {
                          kStatusFeaturesOk | kStatusDriverOk;
   std::uint64_t features_acked_ = kFeatureMrgRxBuf | kFeatureEventIdx |
                                   kFeatureVersion1;
-  bool wedged_[2] = {false, false};
+  std::vector<bool> wedged_;  // one per flat queue index
   RecoveryLog* recovery_log_ = nullptr;
   std::function<void()> reset_listener_;
   EventHandle selfcheck_;
   bool selfcheck_armed_ = false;
-  int selfcheck_strikes_[2] = {0, 0};
-  std::int64_t selfcheck_last_progress_[2] = {0, 0};
+  std::vector<int> selfcheck_strikes_;
+  std::vector<std::int64_t> selfcheck_last_progress_;
   int corrupt_seq_ = 0;
   int tear_seq_ = 0;
   int wedge_seq_ = 0;

@@ -13,8 +13,8 @@ bool need_event(std::int64_t event, std::int64_t new_idx, std::int64_t old_idx) 
 }
 }  // namespace
 
-Virtqueue::Virtqueue(std::string name, int capacity)
-    : name_(std::move(name)), capacity_(capacity) {
+Virtqueue::Virtqueue(std::string name, int capacity, RingLayout layout)
+    : name_(std::move(name)), capacity_(capacity), layout_(layout) {
   ES2_CHECK_MSG(capacity_ > 0, "virtqueue capacity must be positive");
 }
 
@@ -22,11 +22,21 @@ bool Virtqueue::add_avail(Entry entry) {
   if (free_slots() <= 0) return false;
   avail_.push_back(std::move(entry));
   ++avail_idx_;
+  if (avail_idx_ % capacity_ == 0) driver_wrap_ = !driver_wrap_;
   return true;
 }
 
 bool Virtqueue::kick_needed() const {
   if (!notifications_enabled_) return false;
+  if (layout_ == RingLayout::kPacked) {
+    // Packed event suppression (virtio 1.1 §2.7.14): the device's driver
+    // event struct names one descriptor position; the driver kicks when
+    // the descriptor it just made available sits at that position. The
+    // device re-arms at its current read position (enable_notifications
+    // sets avail_event_ = avail_idx_), so this fires exactly when the
+    // split event-idx protocol would.
+    return packed_pos(avail_idx_ - 1) == packed_pos(avail_event_);
+  }
   return need_event(avail_event_, avail_idx_, avail_idx_ - 1);
 }
 
@@ -43,10 +53,16 @@ void Virtqueue::push_used(Entry entry) {
   --in_flight_;
   used_.push_back(std::move(entry));
   ++used_idx_;
+  if (used_idx_ % capacity_ == 0) device_wrap_ = !device_wrap_;
 }
 
 bool Virtqueue::interrupt_needed() const {
   if (!interrupts_enabled_) return false;
+  if (layout_ == RingLayout::kPacked) {
+    // Symmetric to kick_needed: the driver's device event struct names the
+    // used position it wants an interrupt for.
+    return packed_pos(used_idx_ - 1) == packed_pos(used_event_);
+  }
   return need_event(used_event_, used_idx_, used_idx_ - 1);
 }
 
@@ -67,6 +83,8 @@ void Virtqueue::reset() {
   interrupts_enabled_ = true;
   used_idx_ = 0;
   used_event_ = 0;
+  driver_wrap_ = true;
+  device_wrap_ = true;
   injected_fault_ = RingFault::kNone;
   pending_fault_ = RingFault::kNone;
   ++reset_epoch_;
@@ -78,6 +96,16 @@ RingFault Virtqueue::check_integrity() const {
       avail_idx_ - used_idx_ - in_flight_ - avail_count();
   if (slack > 0) return RingFault::kAvailIdxTorn;
   if (slack < 0) return RingFault::kUsedOverrun;
+  if (layout_ == RingLayout::kPacked) {
+    // The wrap counters are redundant with the positions when healthy; a
+    // disagreement means a descriptor was published under the wrong phase
+    // (the packed-ring equivalent of a torn index write). Checked after
+    // the slack audit so index tears report as tears, not wrap faults.
+    if (driver_wrap_ != (((avail_idx_ / capacity_) % 2) == 0) ||
+        device_wrap_ != (((used_idx_ / capacity_) % 2) == 0)) {
+      return RingFault::kBadWrapCounter;
+    }
+  }
   return RingFault::kNone;
 }
 
@@ -131,6 +159,13 @@ void Virtqueue::snapshot_state(SnapshotWriter& w) const {
   w.put_i64(used_event_);
   w.put_i64(notify_enables_);
   w.put_i64(irq_enables_);
+  if (layout_ == RingLayout::kPacked) {
+    // Packed-only fields are appended so split rings keep their exact
+    // es2-snap-v1 byte layout (BENCH_snapshot gates section sizes at
+    // tolerance zero).
+    w.put_bool(driver_wrap_);
+    w.put_bool(device_wrap_);
+  }
 }
 
 void Virtqueue::snapshot_lifecycle_state(SnapshotWriter& w) const {

@@ -1,4 +1,5 @@
-// Split virtqueue with VIRTIO_RING_F_EVENT_IDX notification suppression.
+// Virtqueue with VIRTIO_RING_F_EVENT_IDX notification suppression, in
+// either the virtio 1.0 split layout or the virtio 1.1 packed layout.
 //
 // The shared-memory channel between the guest's virtio-net front-end and
 // the host's vhost-net back-end (paper §V-A). What matters for the event
@@ -12,6 +13,13 @@
 //  * host->guest interrupts are symmetrically suppressed via used_event,
 //    which is how the guest's NAPI disables device interrupts while
 //    polling.
+//
+// The packed layout replaces the free-running indices with a single
+// descriptor ring plus driver/device wrap counters; suppression decisions
+// compare (ring offset, wrap) pairs from the driver/device event structs
+// instead of monotonic indices. Because at most `capacity` descriptors are
+// outstanding, the two formulations are observably equivalent — the
+// differential ring-conformance suite pins that equivalence.
 //
 // Descriptor accounting is real: a fixed ring capacity is shared between
 // guest-posted (avail), host-owned (in flight) and completed (used)
@@ -40,10 +48,12 @@ class Virtqueue {
     Bytes len = 0;
   };
 
-  Virtqueue(std::string name, int capacity);
+  Virtqueue(std::string name, int capacity,
+            RingLayout layout = RingLayout::kSplit);
 
   const std::string& name() const { return name_; }
   int capacity() const { return capacity_; }
+  RingLayout layout() const { return layout_; }
 
   // --- guest-side API ----------------------------------------------------
 
@@ -137,6 +147,9 @@ class Virtqueue {
   void inject_duplicate_head() { injected_fault_ = RingFault::kDuplicateHead; }
   void inject_avail_tear() { avail_idx_ += capacity_ + 3; }
   void inject_used_overrun() { used_idx_ += capacity_ + 1; }
+  /// Packed-layout analogue of a torn avail write: the driver wrap counter
+  /// no longer agrees with the descriptor position it published.
+  void inject_wrap_tear() { driver_wrap_ = !driver_wrap_; }
 
   /// Serializes the lifecycle/integrity state (enable bit, reset epoch,
   /// fault markers). Kept out of snapshot_state so faults-off worlds keep
@@ -168,11 +181,35 @@ class Virtqueue {
   void snapshot_state(SnapshotWriter& w) const;
 
  private:
+  /// Maps a monotonic descriptor id to its packed-ring position: the slot
+  /// offset plus the wrap-counter phase the driver/device had when writing
+  /// it. Within the ≤ capacity-deep outstanding window, position equality
+  /// is exactly id equality — the property the packed suppression and
+  /// integrity checks rely on.
+  struct PackedPos {
+    int offset;
+    bool wrap;
+    bool operator==(const PackedPos& o) const {
+      return offset == o.offset && wrap == o.wrap;
+    }
+  };
+  PackedPos packed_pos(std::int64_t id) const {
+    return {static_cast<int>(id % capacity_), ((id / capacity_) % 2) == 0};
+  }
+
   std::string name_;
   int capacity_;
+  RingLayout layout_ = RingLayout::kSplit;
   std::deque<Entry> avail_;
   std::deque<Entry> used_;
   int in_flight_ = 0;
+
+  // Packed-layout wrap counters (virtio 1.1 §2.7.1): flipped every time
+  // the driver/device position wraps past the end of the descriptor ring.
+  // Redundant with avail_idx_/used_idx_ when healthy — check_integrity
+  // cross-checks them, which is how a wrap tear is detected.
+  bool driver_wrap_ = true;
+  bool device_wrap_ = true;
 
   // Guest->host notification state (host-written, guest-read).
   bool notifications_enabled_ = true;

@@ -117,11 +117,13 @@ TEST(RecoveryLog, RungAttributionKeepsTheHighestRungPulled) {
 /// log, selfcheck and ladder all exist without a single scheduled
 /// injection. Tests drive faults by hand.
 struct RecoveryWorld {
-  explicit RecoveryWorld(bool ladder = true) {
+  explicit RecoveryWorld(bool ladder = true,
+                         RingLayout layout = RingLayout::kSplit) {
     TestbedOptions o;
     o.config = Es2Config::pi_h_r();
     o.faults.desc_corrupt_period = sec(1000);  // armed, never fires
     o.guest_params.recovery_ladder = ladder;
+    o.vhost_params.ring_layout = layout;
     tb = std::make_unique<Testbed>(std::move(o));
     rx = std::make_unique<NetperfReceiver>(tb->guest(), tb->frontend(), 100,
                                            Proto::kTcp);
@@ -241,6 +243,38 @@ TEST(RecoveryLadder, WorkerCrashRestartsAndRecovers) {
   EXPECT_GT(w.rx->packets_received(), before);
 }
 
+TEST(RecoveryLadder, PackedWrapTearClassifiesAndClimbsTheLadder) {
+  RecoveryWorld w(/*ladder=*/true, RingLayout::kPacked);
+  w.tb->sim().run_for(msec(50));
+  // On a packed device the injector's avail-tear mode becomes a wrap
+  // tear: the fault the split layout cannot even express.
+  w.tb->backend().inject_avail_tear();  // first tear lands on TX
+  EXPECT_EQ(w.tb->backend().tx_vq().check_integrity(),
+            RingFault::kBadWrapCounter);
+  w.tb->sim().run_for(msec(50));
+  EXPECT_GE(w.tb->backend().ring_faults_detected(), 1);
+  ASSERT_EQ(w.tb->recovery_log()->instances().size(), 1u);
+  EXPECT_TRUE(w.tb->recovery_log()->instances()[0].recovered());
+  EXPECT_GE(w.tb->frontend().ladder_queue_resets(), 1);
+  EXPECT_FALSE(w.tb->backend().needs_reset());
+  // The reset restored a healthy wrap phase.
+  EXPECT_EQ(w.tb->backend().tx_vq().check_integrity(), RingFault::kNone);
+}
+
+TEST(RecoveryLadder, PackedDuplicateHeadIsQuarantinedAndQueueReset) {
+  RecoveryWorld w(/*ladder=*/true, RingLayout::kPacked);
+  w.tb->sim().run_for(msec(50));
+  w.tb->backend().rx_vq().inject_duplicate_head();
+  w.tb->sim().run_for(msec(50));
+  // Descriptor-table faults classify identically on both layouts, and the
+  // ladder's queue-reset rung clears them the same way.
+  EXPECT_GE(w.tb->backend().ring_faults_detected(), 1);
+  EXPECT_GE(w.tb->frontend().ladder_queue_resets(), 1);
+  EXPECT_EQ(w.tb->frontend().ladder_device_resets(), 0);
+  EXPECT_FALSE(w.tb->backend().needs_reset());
+  EXPECT_EQ(w.tb->backend().rx_vq().check_integrity(), RingFault::kNone);
+}
+
 TEST(RecoveryLadder, LadderOffLeavesTheFaultAsALoudOpenInstance) {
   RecoveryWorld w(/*ladder=*/false);
   w.tb->sim().run_for(msec(50));
@@ -306,6 +340,42 @@ TEST(ResetSnapshotDrift, VirtqueueInventoryMatchesAndResetRestoresIt) {
   EXPECT_EQ(r.get_i64(), 0);    // used_event
   EXPECT_EQ(r.get_i64(), 0);    // notify_enables: cumulative telemetry,
   EXPECT_EQ(r.get_i64(), 1);    // irq_enables:    deliberately kept
+  expect_exhausted(r);
+}
+
+TEST(ResetSnapshotDrift, PackedVirtqueueAppendsOnlyTheWrapCounters) {
+  // The packed layout may only *append* to the split snapshot layout
+  // (split images must stay byte-identical): two wrap bools at the end,
+  // nothing else, and reset() restores both to the boot phase.
+  Virtqueue vq("tx", 8, RingLayout::kPacked);
+  for (int i = 0; i < 9; ++i) {  // cross one wrap so the phase flipped
+    ASSERT_TRUE(vq.add_avail({nullptr, 64}));
+    auto e = vq.pop_avail();
+    vq.push_used(*e);
+    vq.pop_used();
+  }
+  vq.reset();
+
+  SnapshotWriter w;
+  w.begin_section("vq");
+  vq.snapshot_state(w);
+  SnapshotReader r;
+  ASSERT_TRUE(r.load(w.serialize()));
+  ASSERT_TRUE(r.seek("vq"));
+  EXPECT_EQ(r.get_u32(), 8u);   // capacity
+  EXPECT_EQ(r.get_u32(), 0u);   // avail ring emptied
+  EXPECT_EQ(r.get_u32(), 0u);   // used ring emptied
+  EXPECT_EQ(r.get_u32(), 0u);   // in flight
+  EXPECT_TRUE(r.get_bool());    // notifications re-enabled
+  EXPECT_EQ(r.get_i64(), 0);    // avail_idx
+  EXPECT_EQ(r.get_i64(), 0);    // avail_event
+  EXPECT_TRUE(r.get_bool());    // interrupts re-enabled
+  EXPECT_EQ(r.get_i64(), 0);    // used_idx
+  EXPECT_EQ(r.get_i64(), 0);    // used_event
+  EXPECT_EQ(r.get_i64(), 0);    // notify_enables
+  EXPECT_EQ(r.get_i64(), 0);    // irq_enables
+  EXPECT_TRUE(r.get_bool());    // driver wrap counter back to boot phase
+  EXPECT_TRUE(r.get_bool());    // device wrap counter back to boot phase
   expect_exhausted(r);
 }
 
@@ -430,6 +500,29 @@ TEST(RecoveryDeterminism, SameSeedRecoveryRunsProduceIdenticalLedgers) {
   const Divergence d =
       find_divergence(*a.chaos.stream.hashes, *b.chaos.stream.hashes);
   EXPECT_EQ(d.epoch, -1) << d.detail;
+}
+
+TEST(RecoveryDeterminism, PackedRingFaultPlanRecoversCleanly) {
+  // The lifecycle fault plan drives a packed-ring world: tears arrive as
+  // wrap tears, corruption as packed descriptor faults — every instance
+  // must still recover through the same ladder, deterministically.
+  RecoveryStreamOptions o;
+  o.chaos.stream.config = Es2Config::pi_h_r();
+  o.chaos.stream.ring_layout = RingLayout::kPacked;
+  o.chaos.stream.vm_sends = false;
+  o.chaos.stream.warmup = msec(100);
+  o.chaos.stream.measure = msec(400);
+  o.chaos.faults.desc_corrupt_period = msec(97);
+  o.chaos.faults.avail_tear_period = msec(103);
+  const RecoveryStreamResult a = run_recovery_stream(o, "packed-faults");
+  EXPECT_TRUE(a.clean()) << a.chaos.report.to_line();
+  EXPECT_GT(a.injected, 0);
+  EXPECT_EQ(a.recovered, a.injected);
+  EXPECT_GE(a.ring_faults_detected, 1);
+  const RecoveryStreamResult b = run_recovery_stream(o, "packed-faults");
+  EXPECT_EQ(a.injected, b.injected);
+  EXPECT_EQ(a.mttr_p50, b.mttr_p50);
+  EXPECT_EQ(a.mttr_p99, b.mttr_p99);
 }
 
 // ---------------------------------------------------------------------------
