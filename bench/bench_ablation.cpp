@@ -70,6 +70,7 @@ int main(int argc, char** argv) {
       // --trace: capture the paper's chosen quota (8).
       if (quotas[q] == 8) {
         o.trace = trace_request(args);
+        o.profile = profile_request(args);
         o.snapshot = hash_request(args);
       }
       quota_results[q] = run_stream(o);
@@ -116,7 +117,13 @@ int main(int argc, char** argv) {
   write_bench_report(args, report);
 
   const StreamResult& traced = quota_results[2];  // quota 8
-  if (!export_trace(args, traced.trace.get(), traced.stages)) return 1;
+  if (!export_trace(args, traced.trace.get(), traced.stages,
+                    traced.profile.get())) {
+    return 1;
+  }
+  if (!export_profile(args, traced.profile.get(), traced.trace.get())) {
+    return 1;
+  }
   if (!export_hash_log(args, traced.hashes.get())) return 1;
   return 0;
 }

@@ -17,6 +17,8 @@
 #include "harness/experiments.h"
 #include "harness/parallel.h"
 #include "harness/runner.h"
+#include "profile/blame_export.h"
+#include "profile/prof_export.h"
 #include "snapshot/state_hash.h"
 #include "metrics/bench_schema.h"
 #include "trace/export.h"
@@ -34,6 +36,13 @@ struct BenchArgs {
   /// --trace-smoke: after exporting, re-read the file, validate the JSON
   /// and assert the stage latencies are populated; exit nonzero otherwise.
   bool trace_smoke = false;
+  /// --profile=<path>: run one representative cell with the scoped
+  /// profiler on and export collapsed stacks (flamegraph input) to
+  /// <path>, the es2-prof-v1 aggregate to <path>.json and — when the cell
+  /// is also traced — the es2-blame-v1 latency-budget report to
+  /// <path>.blame.json plus the raw ES2T trace to <path>.trace.bin
+  /// (tools/latency_blame input).
+  std::string profile_path;
   /// --hash-epochs=<path>: run one representative cell with epoch
   /// state-hashing on and export its es2-hash-v1 series to <path>
   /// (divergence-bisector input).
@@ -59,6 +68,9 @@ inline BenchArgs parse_args(int argc, char** argv) {
     }
     if (std::strncmp(argv[i], "--out=", 6) == 0) args.out_dir = argv[i] + 6;
     if (std::strncmp(argv[i], "--trace=", 8) == 0) args.trace_path = argv[i] + 8;
+    if (std::strncmp(argv[i], "--profile=", 10) == 0) {
+      args.profile_path = argv[i] + 10;
+    }
     if (std::strncmp(argv[i], "--hash-epochs=", 14) == 0) {
       args.hash_path = argv[i] + 14;
     }
@@ -96,11 +108,24 @@ inline TraceOptions trace_request(const BenchArgs& args) {
   return t;
 }
 
+/// Profiler request for the one bench cell elected to run profiled (no-op
+/// ProfileOptions when --profile was not given). Pairs with trace_request:
+/// benches arm both on the same cell so the blame report and the profiler
+/// slices describe one run.
+inline ProfileOptions profile_request(const BenchArgs& args) {
+  ProfileOptions p;
+  p.enabled = !args.profile_path.empty();
+  return p;
+}
+
 /// Exports the traced cell's journey data to --trace=<path> and prints the
-/// stage breakdown. Returns false when --trace-smoke was requested and the
-/// export failed validation (missing records, invalid JSON, empty stages).
+/// stage breakdown. When the cell was also profiled, the profiler's span
+/// slices ride along as Perfetto "X" events next to the journey bars.
+/// Returns false when --trace-smoke was requested and the export failed
+/// validation (missing records, invalid JSON, empty stages).
 inline bool export_trace(const BenchArgs& args, const TraceData* trace,
-                         const TraceStages& stages) {
+                         const TraceStages& stages,
+                         const ProfileData* profile = nullptr) {
   if (args.trace_path.empty()) return true;
   if (trace == nullptr || trace->records.empty()) {
     std::printf(
@@ -108,7 +133,11 @@ inline bool export_trace(const BenchArgs& args, const TraceData* trace,
         "-DES2_TRACE=ON to compile the instrumentation hooks]\n");
     return !args.trace_smoke;
   }
-  const std::string json = to_perfetto_json(trace->records, trace->spans);
+  const std::vector<PerfettoSlice> prof_slices =
+      profile != nullptr ? prof_perfetto_slices(*profile)
+                         : std::vector<PerfettoSlice>{};
+  const std::string json =
+      to_perfetto_json(trace->records, trace->spans, prof_slices);
   if (!write_file(args.trace_path, json)) {
     std::printf("[trace export to %s failed]\n", args.trace_path.c_str());
     return false;
@@ -169,6 +198,76 @@ inline bool export_hash_log(const BenchArgs& args, const HashSeries* series) {
               series->entries.size(), series->component_names.size(),
               args.hash_path.c_str());
   return true;
+}
+
+/// Exports the profiled cell's data to --profile=<path>: collapsed stacks
+/// at <path>, the es2-prof-v1 aggregate at <path>.json, and — when the
+/// cell was also traced — the es2-blame-v1 latency-budget report at
+/// <path>.blame.json plus the raw ES2T binary trace at <path>.trace.bin,
+/// printing the per-component budget table. Returns false only when a
+/// requested write failed.
+inline bool export_profile(const BenchArgs& args, const ProfileData* profile,
+                           const TraceData* trace = nullptr) {
+  if (args.profile_path.empty()) return true;
+  if (profile == nullptr) {
+    std::printf("[--profile requested but no profiler ran]\n");
+    return false;
+  }
+  if (profile->spans.empty() && profile->nodes.empty()) {
+    std::printf(
+        "[profile requested but no scopes recorded — configure with "
+        "-DES2_PROFILE=ON to compile the instrumentation hooks]\n");
+  }
+  if (!write_file(args.profile_path,
+                  prof_to_collapsed(*profile, CollapsedWeight::kSimNs))) {
+    std::printf("[profile export to %s failed]\n", args.profile_path.c_str());
+    return false;
+  }
+  if (!write_file(args.profile_path + ".json", prof_to_json_text(*profile))) {
+    std::printf("[profile export to %s.json failed]\n",
+                args.profile_path.c_str());
+    return false;
+  }
+  std::printf("[profile: %zu span stats, %zu scope nodes, %zu slices -> %s]\n",
+              profile->spans.size(), profile->nodes.size(),
+              profile->slices.size(), args.profile_path.c_str());
+  if (trace != nullptr && !trace->records.empty()) {
+    const BlameBreakdown blame = blame_of(trace);
+    if (!write_blame_file(args.profile_path + ".blame.json", blame)) {
+      std::printf("[blame export to %s.blame.json failed]\n",
+                  args.profile_path.c_str());
+      return false;
+    }
+    if (!write_file(args.profile_path + ".trace.bin",
+                    to_binary(trace->records))) {
+      std::printf("[trace export to %s.trace.bin failed]\n",
+                  args.profile_path.c_str());
+      return false;
+    }
+    std::printf("%s", render_blame_markdown(blame_summary(blame)).c_str());
+    std::printf("[blame: %lld journeys (%lld attributed) -> %s.blame.json]\n",
+                static_cast<long long>(blame.journeys),
+                static_cast<long long>(blame.complete),
+                args.profile_path.c_str());
+  }
+  return true;
+}
+
+/// --profile for benches without a natural testbed cell: runs one short
+/// canonical stream with the profiler (and, for blame, the tracer) on and
+/// exports it. No-op when the flag was not given.
+inline bool export_standalone_profile(const BenchArgs& args) {
+  if (args.profile_path.empty()) return true;
+  StreamOptions o;
+  o.config = Es2Config::pi_h_r();
+  o.seed = args.seed;
+  o.warmup = msec(100);
+  o.measure = msec(400);
+  o.profile = profile_request(args);
+  o.trace.enabled = true;
+  o.trace.capacity = std::size_t{1} << 18;
+  const StreamResult r = run_stream(o);
+  return export_profile(args, r.profile.get(), r.trace.get());
 }
 
 /// --hash-epochs for benches without a natural testbed cell (micro,

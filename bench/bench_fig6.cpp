@@ -48,6 +48,7 @@ int main(int argc, char** argv) {
           // size — the full redirected event path under oversubscription.
           if (!vm_sends && c == 3 && s == sizes.size() - 1) {
             o.trace = trace_request(args);
+            o.profile = profile_request(args);
             o.snapshot = hash_request(args);
           }
           results[s * 4 + c] = run_stream(o);
@@ -88,7 +89,13 @@ int main(int argc, char** argv) {
     }
     if (!vm_sends) {
       const StreamResult& traced = results[(sizes.size() - 1) * 4 + 3];
-      if (!export_trace(args, traced.trace.get(), traced.stages)) return 1;
+      if (!export_trace(args, traced.trace.get(), traced.stages,
+                        traced.profile.get())) {
+        return 1;
+      }
+      if (!export_profile(args, traced.profile.get(), traced.trace.get())) {
+        return 1;
+      }
       if (!export_hash_log(args, traced.hashes.get())) return 1;
     }
   }

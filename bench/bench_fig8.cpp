@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
       // --trace: capture the full-ES2 memcached cell.
       if (c == 3) {
         o.trace = trace_request(args);
+        o.profile = profile_request(args);
         o.snapshot = hash_request(args);
       }
       mem[c] = run_memcached(o);
@@ -86,7 +87,13 @@ int main(int argc, char** argv) {
   }
   write_bench_report(args, report);
 
-  if (!export_trace(args, mem[3].trace.get(), mem[3].stages)) return 1;
+  if (!export_trace(args, mem[3].trace.get(), mem[3].stages,
+                    mem[3].profile.get())) {
+    return 1;
+  }
+  if (!export_profile(args, mem[3].profile.get(), mem[3].trace.get())) {
+    return 1;
+  }
   if (!export_hash_log(args, mem[3].hashes.get())) return 1;
   return 0;
 }

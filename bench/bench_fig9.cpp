@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
         // --trace: capture full ES2 at the lowest (healthy) request rate.
         if (r == 0 && c == 3) {
           o.trace = trace_request(args);
+          o.profile = profile_request(args);
           o.snapshot = hash_request(args);
         }
         results[r * 4 + c] = run_httperf(o);
@@ -85,7 +86,13 @@ int main(int argc, char** argv) {
   }
   write_bench_report(args, report);
 
-  if (!export_trace(args, results[3].trace.get(), results[3].stages)) return 1;
+  if (!export_trace(args, results[3].trace.get(), results[3].stages,
+                    results[3].profile.get())) {
+    return 1;
+  }
+  if (!export_profile(args, results[3].profile.get(), results[3].trace.get())) {
+    return 1;
+  }
   if (!export_hash_log(args, results[3].hashes.get())) return 1;
   return 0;
 }

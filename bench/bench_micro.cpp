@@ -196,5 +196,6 @@ int main(int argc, char** argv) {
   }
   es2::bench::write_bench_report(args, report);
   if (!es2::bench::export_standalone_hash_log(args)) return 1;
+  if (!es2::bench::export_standalone_profile(args)) return 1;
   return 0;
 }

@@ -211,5 +211,6 @@ int main(int argc, char** argv) {
   }
   write_bench_report(args, report);
   if (!export_standalone_hash_log(args)) return 1;
+  if (!export_standalone_profile(args)) return 1;
   return 0;
 }

@@ -19,6 +19,7 @@
 // (a bench silently not running must not pass CI); an extra current
 // report is informational.
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -117,6 +118,34 @@ GateResult run_gate(const ReportArgs& args) {
   return g;
 }
 
+/// The failing report's most-moved metrics (gated or not), largest
+/// |relative delta| first — the same "what was moving" pointer the
+/// invariant auditor prints, so a REGRESSION line comes with context
+/// instead of a lone metric name.
+std::string top_deltas_line(const BenchDiff& d, std::size_t n) {
+  std::vector<const MetricDelta*> moved;
+  for (const MetricDelta& m : d.deltas) {
+    if (m.rel != 0.0) moved.push_back(&m);
+  }
+  std::sort(moved.begin(), moved.end(),
+            [](const MetricDelta* a, const MetricDelta* b) {
+              if (std::abs(a->rel) != std::abs(b->rel)) {
+                return std::abs(a->rel) > std::abs(b->rel);
+              }
+              return a->metric < b->metric;
+            });
+  if (moved.size() > n) moved.resize(n);
+  std::string line;
+  for (const MetricDelta* m : moved) {
+    if (!line.empty()) line += ", ";
+    line += m->metric;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " %+.1f%%", m->rel * 100.0);
+    line += buf;
+  }
+  return line;
+}
+
 int report_failures(const std::vector<BenchDiff>& diffs) {
   int failures = 0;
   for (const BenchDiff& d : diffs) {
@@ -125,6 +154,10 @@ int report_failures(const std::vector<BenchDiff>& diffs) {
     for (const std::string& failure : d.failures()) {
       std::printf("REGRESSION %s\n", failure.c_str());
       ++failures;
+    }
+    const std::string moved = top_deltas_line(d, 5);
+    if (!moved.empty()) {
+      std::printf("  %s top deltas: %s\n", d.bench.c_str(), moved.c_str());
     }
   }
   return failures;

@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
     // dissects.
     if (i == 0) {
       o.trace = trace_request(args);
+      o.profile = profile_request(args);
       o.snapshot = hash_request(args);
     }
     results[i] = run_stream(o);
@@ -92,7 +93,13 @@ int main(int argc, char** argv) {
   add_config("pi", pi);
   write_bench_report(args, report);
 
-  if (!export_trace(args, base.trace.get(), base.stages)) return 1;
+  if (!export_trace(args, base.trace.get(), base.stages,
+                    base.profile.get())) {
+    return 1;
+  }
+  if (!export_profile(args, base.profile.get(), base.trace.get())) {
+    return 1;
+  }
   if (!export_hash_log(args, base.hashes.get())) return 1;
   return 0;
 }

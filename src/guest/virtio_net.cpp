@@ -6,6 +6,7 @@
 #include "fault/recovery.h"
 #include "guest/guest_os.h"
 #include "metrics/metrics.h"
+#include "profile/hooks.h"
 #include "trace/hooks.h"
 
 namespace es2 {
@@ -110,6 +111,15 @@ void VirtioNetFrontend::handle_irq(Vcpu& vcpu, Vector vector) {
 
 void VirtioNetFrontend::napi_poll(Vcpu& vcpu, int pair,
                                   std::function<void()> done) {
+#if ES2_PROFILE_ENABLED
+  // One poll pass per (vm, pair); the span closes in finish_poll when the
+  // pass re-arms interrupts (the napi_complete epilogue is excluded).
+  if (Profiler* pf = active_profiler(vcpu.vm().host().sim())) {
+    pf->span_begin(ProfComp::kGuestNapi,
+                   static_cast<unsigned>(vcpu.vm().id() * 16 + pair),
+                   vcpu.vm().host().sim().now());
+  }
+#endif
 #if ES2_TRACE_ENABLED
   if (Tracer* tr = active_tracer(vcpu.vm().host().sim())) {
     tr->emit(vcpu.vm().host().sim().now(), TraceKind::kNapiPoll,
@@ -200,6 +210,13 @@ void VirtioNetFrontend::finish_poll(Vcpu& vcpu, int pair,
       }
 #endif
     }
+#if ES2_PROFILE_ENABLED
+    if (Profiler* pf = active_profiler(vcpu.vm().host().sim())) {
+      pf->span_end(ProfComp::kGuestNapi,
+                   static_cast<unsigned>(vcpu.vm().id() * 16 + pair),
+                   vcpu.vm().host().sim().now());
+    }
+#endif
     vcpu.guest_exec(os_.params().napi_complete, std::move(done));
   });
 }

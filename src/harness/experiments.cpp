@@ -117,6 +117,17 @@ std::shared_ptr<TraceData> harvest_trace(Testbed& tb) {
   return data;
 }
 
+std::shared_ptr<ProfileData> harvest_profile(Testbed& tb) {
+  Profiler* profiler = tb.profiler();
+  if (profiler == nullptr) return nullptr;
+  return std::make_shared<ProfileData>(profiler->data());
+}
+
+BlameBreakdown blame_of(const TraceData* data, const BlameOptions& options) {
+  if (data == nullptr) return BlameBreakdown{};
+  return analyze_blame(data->records, options);
+}
+
 // ---------------------------------------------------------------------------
 // Telemetry
 // ---------------------------------------------------------------------------
@@ -249,6 +260,7 @@ StreamResult run_stream(const StreamOptions& opts) {
   TestbedOptions to = testbed_options(opts.config, opts.macro, opts.seed);
   apply_dataplane(to, opts);
   to.trace = opts.trace;
+  to.profile = opts.profile;
   to.metrics = opts.metrics;
   to.snapshot = opts.snapshot;
   Testbed tb(to);
@@ -268,6 +280,7 @@ StreamResult run_stream(const StreamOptions& opts) {
   tb.sim().run_for(opts.measure);
   StreamResult result = window.collect(tb, w, opts.vm_sends);
   result.trace = harvest_trace(tb);
+  result.profile = harvest_profile(tb);
   result.stages = trace_stages(result.trace.get());
   result.metrics = harvest_metrics(tb);
   result.hashes = harvest_hashes(tb);
@@ -286,6 +299,7 @@ TestbedOptions chaos_testbed_options(const ChaosStreamOptions& opts) {
   to.audit_period = opts.audit_period;
   to.guest_params.tx_watchdog = opts.tx_watchdog;
   to.trace = opts.stream.trace;
+  to.profile = opts.stream.profile;
   to.metrics = opts.stream.metrics;
   to.snapshot = opts.stream.snapshot;
   return to;
@@ -343,6 +357,7 @@ ChaosStreamResult supervise_stream(Testbed& tb, StreamWorkload& w,
     result.audit_violations = tb.auditor()->total_violations();
   }
   result.stream.trace = harvest_trace(tb);
+  result.stream.profile = harvest_profile(tb);
   result.stream.stages = trace_stages(result.stream.trace.get());
   result.stream.metrics = harvest_metrics(tb);
   result.stream.hashes = harvest_hashes(tb);
@@ -478,6 +493,7 @@ RecoveryStreamResult run_recovery_stream(const RecoveryStreamOptions& opts,
 PingResult run_ping(const PingOptions& opts) {
   TestbedOptions to = testbed_options(opts.config, /*macro=*/true, opts.seed);
   to.trace = opts.trace;
+  to.profile = opts.profile;
   to.metrics = opts.metrics;
   to.snapshot = opts.snapshot;
   Testbed tb(to);
@@ -499,6 +515,7 @@ PingResult run_ping(const PingOptions& opts) {
   result.samples = client.samples();
   result.lost = client.lost();
   result.trace = harvest_trace(tb);
+  result.profile = harvest_profile(tb);
   result.stages = trace_stages(result.trace.get());
   result.metrics = harvest_metrics(tb);
   result.hashes = harvest_hashes(tb);
@@ -512,6 +529,7 @@ PingResult run_ping(const PingOptions& opts) {
 MemcachedResult run_memcached(const MemcachedOptions& opts) {
   TestbedOptions to = testbed_options(opts.config, /*macro=*/true, opts.seed);
   to.trace = opts.trace;
+  to.profile = opts.profile;
   to.metrics = opts.metrics;
   to.snapshot = opts.snapshot;
   Testbed tb(to);
@@ -537,6 +555,7 @@ MemcachedResult run_memcached(const MemcachedOptions& opts) {
   result.throughput_mbps = client.response_mbps(tb.sim().now());
   result.latency = client.latency();
   result.trace = harvest_trace(tb);
+  result.profile = harvest_profile(tb);
   result.stages = trace_stages(result.trace.get());
   result.metrics = harvest_metrics(tb);
   result.hashes = harvest_hashes(tb);
@@ -550,6 +569,7 @@ MemcachedResult run_memcached(const MemcachedOptions& opts) {
 ApacheResult run_apache(const ApacheOptions& opts) {
   TestbedOptions to = testbed_options(opts.config, /*macro=*/true, opts.seed);
   to.trace = opts.trace;
+  to.profile = opts.profile;
   to.metrics = opts.metrics;
   to.snapshot = opts.snapshot;
   Testbed tb(to);
@@ -570,6 +590,7 @@ ApacheResult run_apache(const ApacheOptions& opts) {
   result.requests_per_sec = client.requests_per_sec(tb.sim().now());
   result.throughput_mbps = client.response_mbps(tb.sim().now());
   result.trace = harvest_trace(tb);
+  result.profile = harvest_profile(tb);
   result.stages = trace_stages(result.trace.get());
   result.metrics = harvest_metrics(tb);
   result.hashes = harvest_hashes(tb);
@@ -579,6 +600,7 @@ ApacheResult run_apache(const ApacheOptions& opts) {
 HttperfResult run_httperf(const HttperfOptions& opts) {
   TestbedOptions to = testbed_options(opts.config, /*macro=*/true, opts.seed);
   to.trace = opts.trace;
+  to.profile = opts.profile;
   to.metrics = opts.metrics;
   to.snapshot = opts.snapshot;
   Testbed tb(to);
@@ -603,6 +625,7 @@ HttperfResult run_httperf(const HttperfOptions& opts) {
   result.established = client.established();
   result.retries = client.retries();
   result.trace = harvest_trace(tb);
+  result.profile = harvest_profile(tb);
   result.stages = trace_stages(result.trace.get());
   result.metrics = harvest_metrics(tb);
   result.hashes = harvest_hashes(tb);

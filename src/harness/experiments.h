@@ -14,6 +14,8 @@
 #include "harness/runner.h"
 #include "harness/testbed.h"
 #include "metrics/export.h"
+#include "profile/blame.h"
+#include "profile/profiler.h"
 #include "stats/histogram.h"
 #include "trace/span.h"
 #include "trace/trace.h"
@@ -79,6 +81,16 @@ std::shared_ptr<HashSeries> harvest_hashes(Testbed& tb);
 /// Stage summary of a harvested trace (all zeros for null / empty data).
 TraceStages trace_stages(const TraceData* data);
 
+/// Snapshots a testbed's profiler (span aggregates, scope tree, slice
+/// ring). Null when the run was not profiled. Call before teardown.
+std::shared_ptr<ProfileData> harvest_profile(Testbed& tb);
+
+/// Critical-path blame over a harvested trace (empty breakdown for null
+/// or untraced data). The analyzer is offline; call it on result rows,
+/// never inside the run.
+BlameBreakdown blame_of(const TraceData* data,
+                        const BlameOptions& options = {});
+
 /// Paper-style exit breakdown (Table I / Fig. 5 rows).
 struct ExitBreakdown {
   double interrupt_delivery = 0;  // external_interrupt exits/s
@@ -125,6 +137,8 @@ struct StreamOptions {
   SimDuration measure = msec(800);
   /// Event-path tracing for this run (off by default).
   TraceOptions trace;
+  /// Scoped profiling for this run (off by default; passive when on).
+  ProfileOptions profile;
   /// Registry sampling cadence (on by default; passive either way).
   MetricsOptions metrics;
   /// Epoch state-hashing (off by default; passive when on).
@@ -142,6 +156,8 @@ struct StreamResult {
   /// Null unless the run was traced.
   std::shared_ptr<TraceData> trace;
   TraceStages stages;
+  /// Null unless the run was profiled.
+  std::shared_ptr<ProfileData> profile;
   /// Final registry snapshot (never null after a run).
   std::shared_ptr<MetricsData> metrics;
   /// Null unless the run hashed epochs.
@@ -282,6 +298,7 @@ struct PingOptions {
   SimDuration interval = msec(250);
   std::uint64_t seed = 1;
   TraceOptions trace;
+  ProfileOptions profile;
   MetricsOptions metrics;
   SnapshotOptions snapshot;
 };
@@ -292,6 +309,7 @@ struct PingResult {
   std::int64_t lost = 0;
   std::shared_ptr<TraceData> trace;
   TraceStages stages;
+  std::shared_ptr<ProfileData> profile;
   std::shared_ptr<MetricsData> metrics;
   std::shared_ptr<HashSeries> hashes;
 };
@@ -312,6 +330,7 @@ struct MemcachedOptions {
   SimDuration warmup = msec(300);
   SimDuration measure = sec(1);
   TraceOptions trace;
+  ProfileOptions profile;
   MetricsOptions metrics;
   SnapshotOptions snapshot;
 };
@@ -322,6 +341,7 @@ struct MemcachedResult {
   Histogram latency;           // ns per op
   std::shared_ptr<TraceData> trace;
   TraceStages stages;
+  std::shared_ptr<ProfileData> profile;
   std::shared_ptr<MetricsData> metrics;
   std::shared_ptr<HashSeries> hashes;
 };
@@ -340,6 +360,7 @@ struct ApacheOptions {
   SimDuration warmup = msec(300);
   SimDuration measure = sec(1);
   TraceOptions trace;
+  ProfileOptions profile;
   MetricsOptions metrics;
   SnapshotOptions snapshot;
 };
@@ -349,6 +370,7 @@ struct ApacheResult {
   double throughput_mbps = 0;
   std::shared_ptr<TraceData> trace;
   TraceStages stages;
+  std::shared_ptr<ProfileData> profile;
   std::shared_ptr<MetricsData> metrics;
   std::shared_ptr<HashSeries> hashes;
 };
@@ -361,6 +383,7 @@ struct HttperfOptions {
   SimDuration duration = sec(3);
   std::uint64_t seed = 1;
   TraceOptions trace;
+  ProfileOptions profile;
   MetricsOptions metrics;
   SnapshotOptions snapshot;
 };
@@ -372,6 +395,7 @@ struct HttperfResult {
   std::int64_t retries = 0;
   std::shared_ptr<TraceData> trace;
   TraceStages stages;
+  std::shared_ptr<ProfileData> profile;
   std::shared_ptr<MetricsData> metrics;
   std::shared_ptr<HashSeries> hashes;
 };

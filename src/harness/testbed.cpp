@@ -18,6 +18,11 @@ Testbed::Testbed(TestbedOptions options) : options_(std::move(options)) {
     tracer_->enable();
     sim_->set_tracer(tracer_.get());
   }
+  if (o.profile.enabled) {
+    profiler_ = std::make_unique<Profiler>(o.profile);
+    profiler_->enable();
+    sim_->set_profiler(profiler_.get());
+  }
   host_ = std::make_unique<KvmHost>(*sim_, o.host_cores, o.costs);
   es2_ = std::make_unique<Es2System>(*host_, o.config);
 
@@ -174,6 +179,20 @@ void Testbed::register_all_metrics() {
                   [qs] { return static_cast<double>(qs->peak_live); });
   registry_.probe("eventcore.slabs_allocated",
                   [qs] { return static_cast<double>(qs->slabs_allocated); });
+  // Timing-wheel placement counters: where events landed (near ring,
+  // wheel, far heap) and how often the far heap migrated/compacted —
+  // the event-core pressure signals blame reports read next to the
+  // per-stage attribution.
+  registry_.probe("eventcore.near_hits",
+                  [qs] { return static_cast<double>(qs->near_hits); });
+  registry_.probe("eventcore.wheel_hits",
+                  [qs] { return static_cast<double>(qs->wheel_hits); });
+  registry_.probe("eventcore.far_hits",
+                  [qs] { return static_cast<double>(qs->far_hits); });
+  registry_.probe("eventcore.far_migrations",
+                  [qs] { return static_cast<double>(qs->far_migrations); });
+  registry_.probe("eventcore.heap_compactions",
+                  [qs] { return static_cast<double>(qs->heap_compactions); });
 
   host_->sched().register_metrics(registry_);
   for (int v = 0; v < host_->num_vms(); ++v) {

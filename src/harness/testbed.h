@@ -26,6 +26,7 @@
 #include "metrics/sampler.h"
 #include "net/link.h"
 #include "net/peer.h"
+#include "profile/profiler.h"
 #include "sim/invariant_auditor.h"
 #include "snapshot/state_hash.h"
 #include "trace/trace.h"
@@ -72,6 +73,11 @@ struct TestbedOptions {
   /// to the simulator; hooks only emit when the build also compiled them
   /// in (-DES2_TRACE=ON). Off by default: zero records, zero overhead.
   TraceOptions trace;
+  /// Scoped profiling. `profile.enabled` builds a Profiler and attaches
+  /// it to the simulator; scopes only record when the build also compiled
+  /// the call sites in (-DES2_PROFILE=ON). Passive either way: profiled
+  /// runs leave golden outputs bit-identical.
+  ProfileOptions profile;
   /// Unified telemetry. Instruments register across every layer either
   /// way; `metrics.enabled` additionally runs a MetricsSampler on a
   /// deterministic in-sim cadence. Sampling is passive: on-vs-off leaves
@@ -114,6 +120,8 @@ class Testbed {
   RecoveryLog* recovery_log() { return recovery_log_.get(); }
   /// Null unless options.trace.enabled.
   Tracer* tracer() { return tracer_.get(); }
+  /// Null unless options.profile.enabled.
+  Profiler* profiler() { return profiler_.get(); }
 
   /// The unified registry; every layer's instruments live here.
   MetricsRegistry& metrics() { return registry_; }
@@ -159,6 +167,7 @@ class Testbed {
   std::vector<std::unique_ptr<FnSnapshottable>> lifecycle_sections_;
   std::unique_ptr<InvariantAuditor> auditor_;
   std::unique_ptr<Tracer> tracer_;
+  std::unique_ptr<Profiler> profiler_;
   WorldSnapshotter snapshotter_;
   std::unique_ptr<EpochHashLog> hash_log_;
   std::unique_ptr<PeriodicTimer> hash_timer_;

@@ -1,0 +1,39 @@
+// Compile-time gate for the hot-path profiler instrumentation.
+//
+// Mirrors trace/hooks.h: the profile *library* (Profiler, blame analyzer,
+// exporters) is always built and unit tested; only the scope/span call
+// sites threaded through the model layers are conditional. The build
+// defines ES2_PROFILE_ENABLED=1 when configured with -DES2_PROFILE=ON;
+// otherwise this header pins it to 0 and every call site wrapped in
+// `#if ES2_PROFILE_ENABLED` vanishes — the default build's event path
+// carries zero profiling instructions and goldens stay bit-identical.
+//
+// Call-site pattern:
+//
+//   #if ES2_PROFILE_ENABLED
+//     if (Profiler* pf = active_profiler(sim)) {
+//       pf->span_begin(ProfComp::kVhostTurnTx, q, sim.now());
+//     }
+//   #endif
+#pragma once
+
+#ifndef ES2_PROFILE_ENABLED
+#define ES2_PROFILE_ENABLED 0
+#endif
+
+#if ES2_PROFILE_ENABLED
+
+#include "profile/profiler.h"
+#include "sim/simulator.h"
+
+namespace es2 {
+
+/// The simulator's profiler when one is attached and enabled, else null.
+inline Profiler* active_profiler(Simulator& sim) {
+  Profiler* profiler = sim.profiler();
+  return profiler != nullptr && profiler->enabled() ? profiler : nullptr;
+}
+
+}  // namespace es2
+
+#endif  // ES2_PROFILE_ENABLED

@@ -1,0 +1,129 @@
+#include "profile/prof_export.h"
+
+#include <algorithm>
+
+#include "base/strings.h"
+
+namespace es2 {
+
+namespace {
+
+std::string node_path(const ProfileData& data, std::size_t index) {
+  std::vector<const char*> frames;
+  for (std::int32_t at = static_cast<std::int32_t>(index); at >= 0;
+       at = data.nodes[static_cast<std::size_t>(at)].parent) {
+    frames.push_back(prof_comp_name(data.nodes[static_cast<std::size_t>(at)].comp));
+  }
+  std::string path = "host";
+  for (auto it = frames.rbegin(); it != frames.rend(); ++it) {
+    path += ';';
+    path += *it;
+  }
+  return path;
+}
+
+/// Sync-tree self host-time: total minus the children's totals.
+std::int64_t node_self_host_ns(const ProfileData& data, std::size_t index) {
+  std::int64_t self = data.nodes[index].host_ns;
+  for (std::size_t i = 0; i < data.nodes.size(); ++i) {
+    if (data.nodes[i].parent == static_cast<std::int32_t>(index)) {
+      self -= data.nodes[i].host_ns;
+    }
+  }
+  return self > 0 ? self : 0;
+}
+
+}  // namespace
+
+std::string prof_to_collapsed(const ProfileData& data,
+                              CollapsedWeight weight) {
+  std::vector<std::string> lines;
+  for (std::size_t i = 0; i < data.nodes.size(); ++i) {
+    std::int64_t w = 0;
+    switch (weight) {
+      case CollapsedWeight::kCalls:
+        w = data.nodes[i].calls;
+        break;
+      case CollapsedWeight::kHostNs:
+        w = node_self_host_ns(data, i);
+        break;
+      case CollapsedWeight::kSimNs:
+        w = 0;  // sync scopes run inside one callback: no sim extent
+        break;
+    }
+    if (w <= 0) continue;
+    lines.push_back(node_path(data, i) + format(" %lld", static_cast<long long>(w)));
+  }
+  if (weight != CollapsedWeight::kHostNs) {
+    for (const ProfSpanStat& s : data.spans) {
+      const std::int64_t w =
+          weight == CollapsedWeight::kCalls ? s.count : s.sim_ns;
+      if (w <= 0) continue;
+      lines.push_back(format("sim;%s;%s:k%u %lld", prof_comp_name(s.comp),
+                             prof_comp_name(s.comp), static_cast<unsigned>(s.key),
+                             static_cast<long long>(w)));
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+Json prof_to_json(const ProfileData& data, bool include_host) {
+  Json root = Json::object();
+  root.set("schema", Json::string(kProfSchema));
+  Json spans = Json::array();
+  for (const ProfSpanStat& s : data.spans) {
+    Json row = Json::object();
+    row.set("comp", Json::string(prof_comp_name(s.comp)));
+    row.set("key", Json::number(s.key));
+    row.set("count", Json::number(static_cast<double>(s.count)));
+    row.set("sim_ns", Json::number(static_cast<double>(s.sim_ns)));
+    spans.push_back(std::move(row));
+  }
+  root.set("spans", std::move(spans));
+  Json nodes = Json::array();
+  for (std::size_t i = 0; i < data.nodes.size(); ++i) {
+    const ProfNode& n = data.nodes[i];
+    Json row = Json::object();
+    row.set("comp", Json::string(prof_comp_name(n.comp)));
+    row.set("parent", Json::number(n.parent));
+    row.set("calls", Json::number(static_cast<double>(n.calls)));
+    if (include_host) {
+      row.set("host_ns", Json::number(static_cast<double>(n.host_ns)));
+      row.set("self_host_ns",
+              Json::number(static_cast<double>(node_self_host_ns(data, i))));
+    }
+    nodes.push_back(std::move(row));
+  }
+  root.set("nodes", std::move(nodes));
+  root.set("slices_total",
+           Json::number(static_cast<double>(data.slices_total)));
+  root.set("dropped", Json::number(static_cast<double>(data.dropped)));
+  return root;
+}
+
+std::string prof_to_json_text(const ProfileData& data, bool include_host) {
+  return prof_to_json(data, include_host).dump(2) + "\n";
+}
+
+std::vector<PerfettoSlice> prof_perfetto_slices(const ProfileData& data) {
+  std::vector<PerfettoSlice> out;
+  out.reserve(data.slices.size());
+  for (const ProfSlice& s : data.slices) {
+    PerfettoSlice slice;
+    slice.name = format("%s:k%u", prof_comp_name(s.comp),
+                        static_cast<unsigned>(s.key));
+    slice.track = static_cast<int>(s.comp);
+    slice.begin = s.begin;
+    slice.end = s.end;
+    out.push_back(std::move(slice));
+  }
+  return out;
+}
+
+}  // namespace es2

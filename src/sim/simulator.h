@@ -21,6 +21,7 @@
 namespace es2 {
 
 class Tracer;
+class Profiler;
 
 class Simulator : public Snapshottable {
  public:
@@ -92,6 +93,11 @@ class Simulator : public Snapshottable {
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
   Tracer* tracer() const { return tracer_; }
 
+  /// Scoped profiler attached to this world (not owned); null in
+  /// unprofiled runs. Same carrying-only contract as the tracer.
+  void set_profiler(Profiler* profiler) { profiler_ = profiler; }
+  Profiler* profiler() const { return profiler_; }
+
   /// Kernel state: clock, seed, executed-event count, live queue depth.
   /// Pending events themselves are not serialized (callbacks capture
   /// closures); restore is deterministic re-execution — see DESIGN.md §4f.
@@ -103,6 +109,7 @@ class Simulator : public Snapshottable {
   std::uint64_t seed_;
   std::uint64_t events_executed_ = 0;
   Tracer* tracer_ = nullptr;
+  Profiler* profiler_ = nullptr;
 };
 
 /// Repeating timer helper built on Simulator::after.

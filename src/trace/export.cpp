@@ -25,9 +25,11 @@ int lane_tid(const TraceRecord& r) { return r.vcpu < 0 ? 0 : r.vcpu + 1; }
 }  // namespace
 
 std::string to_perfetto_json(const std::vector<TraceRecord>& records,
-                             const std::vector<JourneySpan>& spans) {
+                             const std::vector<JourneySpan>& spans,
+                             const std::vector<PerfettoSlice>& extra_slices) {
   std::string out;
-  out.reserve(records.size() * 120 + spans.size() * 160 + 64);
+  out.reserve(records.size() * 120 + spans.size() * 160 +
+              extra_slices.size() * 110 + 64);
   out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
   bool first = true;
   for (const TraceRecord& r : records) {
@@ -55,6 +57,19 @@ std::string to_perfetto_json(const std::vector<TraceRecord>& records,
         ",{\"name\":\"journey\",\"cat\":\"journey\",\"ph\":\"e\","
         "\"id\":%llu,\"ts\":%s,\"pid\":%d,\"tid\":%d}",
         id, ts_us(s.eoi).c_str(), pid, s.vcpu < 0 ? 0 : s.vcpu + 1);
+  }
+  // Profiler scopes land on their own pid so they group as one "process"
+  // under the journey lanes in the Perfetto UI.
+  constexpr int kProfilerPid = 100;
+  for (const PerfettoSlice& s : extra_slices) {
+    if (s.end < s.begin) continue;
+    if (!first) out += ',';
+    first = false;
+    out += format(
+        "{\"name\":\"%s\",\"cat\":\"profile\",\"ph\":\"X\",\"ts\":%s,"
+        "\"dur\":%s,\"pid\":%d,\"tid\":%d}",
+        s.name.c_str(), ts_us(s.begin).c_str(), ts_us(s.end - s.begin).c_str(),
+        kProfilerPid, s.track);
   }
   out += "]}";
   return out;

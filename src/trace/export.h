@@ -18,11 +18,24 @@
 
 namespace es2 {
 
+/// A generic duration slice other layers (the profiler) can hand to the
+/// Perfetto exporter so their scopes render next to the journey bars.
+/// Slices draw as complete ("X") events on a dedicated profiler pid with
+/// one tid lane per `track`.
+struct PerfettoSlice {
+  std::string name;
+  int track = 0;
+  SimTime begin = 0;
+  SimTime end = 0;
+};
+
 /// Chrome trace-event JSON ("traceEvents" array). `spans` adds async
 /// journey bars on top of the instant records; pass an empty vector to
-/// export records only.
+/// export records only. `extra_slices` appends duration events from
+/// outside the tracer (profiler component scopes).
 std::string to_perfetto_json(const std::vector<TraceRecord>& records,
-                             const std::vector<JourneySpan>& spans = {});
+                             const std::vector<JourneySpan>& spans = {},
+                             const std::vector<PerfettoSlice>& extra_slices = {});
 
 /// Compact binary form: "ES2T" magic, u32 version, u64 record count, then
 /// 24 bytes per record, everything little-endian regardless of host.

@@ -7,6 +7,7 @@
 #include "fault/fault.h"
 #include "fault/recovery.h"
 #include "metrics/metrics.h"
+#include "profile/hooks.h"
 #include "trace/hooks.h"
 
 namespace es2 {
@@ -15,6 +16,20 @@ namespace es2 {
 namespace {
 int worker_core(VhostWorker& worker) {
   return worker.thread().core() != nullptr ? worker.thread().core()->id() : -1;
+}
+}  // namespace
+#endif
+
+#if ES2_PROFILE_ENABLED
+namespace {
+ProfComp turn_comp(const VqHandler& h) {
+  const int q = h.profile_queue();
+  return q >= 0 && q % 2 != 0 ? ProfComp::kVhostTurnRx
+                              : ProfComp::kVhostTurnTx;
+}
+unsigned turn_key(const VqHandler& h) {
+  const int q = h.profile_queue();
+  return q >= 0 ? static_cast<unsigned>(q) : 0u;
 }
 }  // namespace
 #endif
@@ -208,8 +223,22 @@ void VhostWorker::main_loop() {
     // storm before reaching this handler.
     wait += faults_->worker_stall();
   }
+#if ES2_PROFILE_ENABLED
+  // One turn = dispatch wait + wakeup latency + the handler's service,
+  // closed by the continuation below. The span slot is keyed by the flat
+  // queue index, so per-queue turn residency falls out of the export.
+  if (Profiler* pf = active_profiler(host_.sim())) {
+    pf->span_begin(turn_comp(*handler), turn_key(*handler), now);
+  }
+#endif
   thread_.exec(wait + host_.costs().ns(kLoopOverhead), [this, handler] {
     handler->service(*this, [this, handler](bool requeue) {
+#if ES2_PROFILE_ENABLED
+      if (Profiler* pf = active_profiler(host_.sim())) {
+        pf->span_end(turn_comp(*handler), turn_key(*handler),
+                     host_.sim().now());
+      }
+#endif
       if (requeue) {
         handler->ready_at_ = host_.sim().now() + requeue_delay_;
         activate(*handler);
@@ -231,7 +260,9 @@ class VhostNetBackend::TxHandler final : public VqHandler {
                       : backend.vm().name() + format("/tx%d", pair)),
         backend_(backend),
         pair_(pair),
-        q_(2 * pair) {}
+        q_(2 * pair) {
+    profile_queue_ = q_;
+  }
 
   void service(VhostWorker& worker,
                std::function<void(bool)> done) override {
@@ -352,7 +383,9 @@ class VhostNetBackend::RxHandler final : public VqHandler {
                       : backend.vm().name() + format("/rx%d", pair)),
         backend_(backend),
         pair_(pair),
-        q_(2 * pair + 1) {}
+        q_(2 * pair + 1) {
+    profile_queue_ = q_;
+  }
 
   void service(VhostWorker& worker,
                std::function<void(bool)> done) override {
@@ -665,6 +698,12 @@ Cycles VhostNetBackend::rx_cost(const PacketPtr& p) {
 
 void VhostNetBackend::raise_msi(const MsiMessage& msi) {
   if (msi_filter_ && !msi_filter_(msi)) return;  // coalesced
+#if ES2_PROFILE_ENABLED
+  // The raise -> router -> vcpu delivery chain is synchronous, so a sync
+  // scope captures its full host cost.
+  Profiler::Scope prof_scope(active_profiler(vm_.host().sim()),
+                             ProfComp::kVhostMsi);
+#endif
 #if ES2_TRACE_ENABLED
   if (Tracer* tr = active_tracer(vm_.host().sim())) {
     std::uint64_t corr =
@@ -1118,6 +1157,10 @@ void VhostNetBackend::arm_rx_repoll() {
 }
 
 void VhostNetBackend::receive_from_wire(PacketPtr packet) {
+#if ES2_PROFILE_ENABLED
+  Profiler::Scope prof_scope(active_profiler(vm_.host().sim()),
+                             ProfComp::kVhostWireRx);
+#endif
   const int pair = steer_pair(packet->proto, packet->flow);
   std::deque<PacketPtr>& buf = sock_buf(pair);
   if (static_cast<int>(buf.size()) >= params_.sock_buffer) {

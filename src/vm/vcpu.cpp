@@ -4,6 +4,7 @@
 #include "base/log.h"
 #include "base/strings.h"
 #include "metrics/metrics.h"
+#include "profile/hooks.h"
 #include "trace/hooks.h"
 #include "vm/vm.h"
 
@@ -87,6 +88,9 @@ void Vcpu::vm_exit(ExitReason cause, Cycles handle_cost,
   ES2_CHECK_MSG(mode_ == Mode::kGuest, "vm_exit while already in host mode");
   mode_ = Mode::kHost;
   stats_.record_exit(cause);
+#if ES2_PROFILE_ENABLED
+  Profiler::Scope prof_scope(active_profiler(sim_), ProfComp::kVcpuExit);
+#endif
 #if ES2_TRACE_ENABLED
   if (Tracer* tr = active_tracer(sim_)) {
     tr->emit(sim_.now(), TraceKind::kVmExit, vm_.id(), index_,
@@ -159,6 +163,15 @@ void Vcpu::dispatch_irq(Vector vector) {
              core_of(thread_), vector, corr);
   }
 #endif
+#if ES2_PROFILE_ENABLED
+  // dispatch -> EOI is this vcpu's interrupt-service span (nested
+  // interrupts fold into the outer span; the begin-on-open counts as
+  // dropped rather than opening a second slot).
+  if (Profiler* pf = active_profiler(sim_)) {
+    pf->span_begin(ProfComp::kGuestIrqService,
+                   static_cast<unsigned>(vm_.id() * 16 + index_), sim_.now());
+  }
+#endif
   const CostModel& c = vm_.host().costs();
   guest_exec(c.guest_irq_dispatch,
              [this, vector] { vm_.guest().take_interrupt(index_, vector); });
@@ -181,6 +194,12 @@ void Vcpu::guest_io_kick(std::function<void()> notify,
 }
 
 void Vcpu::guest_eoi(std::function<void()> done) {
+#if ES2_PROFILE_ENABLED
+  if (Profiler* pf = active_profiler(sim_)) {
+    pf->span_end(ProfComp::kGuestIrqService,
+                 static_cast<unsigned>(vm_.id() * 16 + index_), sim_.now());
+  }
+#endif
 #if ES2_TRACE_ENABLED
   if (Tracer* tr = active_tracer(sim_)) {
     // The EOI write closes the innermost in-service frame, whichever
