@@ -99,6 +99,10 @@ std::string cell_artifact(const ChaosStreamResult& r) {
   Json a = Json::object();
   a.set("goodput_mbps", Json::number(r.stream.throughput_mbps));
   a.set("link_dropped", Json::number(static_cast<double>(r.stream.link_dropped)));
+  a.set("sock_backlog_drops",
+        Json::number(static_cast<double>(r.stream.drops.sock_backlog)));
+  a.set("backpressure_drops",
+        Json::number(static_cast<double>(r.stream.drops.backpressure)));
   a.set("kicks_dropped", Json::number(static_cast<double>(r.faults.kicks_dropped)));
   a.set("fast_retransmits", Json::number(static_cast<double>(r.fast_retransmits)));
   a.set("rto_retransmits", Json::number(static_cast<double>(r.rto_retransmits)));
@@ -117,6 +121,11 @@ bool restore_cell(const ScenarioReport& rep, ChaosStreamResult* r) {
   r->stream.throughput_mbps = a.number_or("goodput_mbps", 0);
   r->stream.link_dropped =
       static_cast<std::int64_t>(a.number_or("link_dropped", 0));
+  r->stream.drops.wire = r->stream.link_dropped;
+  r->stream.drops.sock_backlog =
+      static_cast<std::int64_t>(a.number_or("sock_backlog_drops", 0));
+  r->stream.drops.backpressure =
+      static_cast<std::int64_t>(a.number_or("backpressure_drops", 0));
   r->faults.kicks_dropped =
       static_cast<std::int64_t>(a.number_or("kicks_dropped", 0));
   r->fast_retransmits =
@@ -221,12 +230,13 @@ int main(int argc, char** argv) {
   }
 
   CsvWriter csv({"stack", "loss_pct", "status", "goodput_mbps",
-                 "link_dropped", "kicks_dropped", "fast_retransmits",
-                 "rto_retransmits", "tx_watchdog_kicks", "rx_watchdog_polls",
-                 "rx_repolls", "audit_violations"});
+                 "link_dropped", "sock_backlog_drops", "backpressure_drops",
+                 "kicks_dropped", "fast_retransmits", "rto_retransmits",
+                 "tx_watchdog_kicks", "rx_watchdog_polls", "rx_repolls",
+                 "audit_violations"});
   Table t({"stack", "loss %", "status", "goodput Mb/s", "wire drops",
-           "kick drops", "fast rtx", "rto rtx", "wd kicks", "wd polls",
-           "re-polls", "audit"});
+           "sock drops", "bp drops", "kick drops", "fast rtx", "rto rtx",
+           "wd kicks", "wd polls", "re-polls", "audit"});
   for (size_t l = 0; l < losses.size(); ++l) {
     for (size_t s = 0; s < stacks.size(); ++s) {
       const ChaosStreamResult& r = results[l * stacks.size() + s];
@@ -234,6 +244,8 @@ int main(int argc, char** argv) {
       csv.add_row({stacks[s].label, loss_pct, to_string(r.report.status),
                    format("%.2f", r.stream.throughput_mbps),
                    std::to_string(r.stream.link_dropped),
+                   std::to_string(r.stream.drops.sock_backlog),
+                   std::to_string(r.stream.drops.backpressure),
                    std::to_string(r.faults.kicks_dropped),
                    std::to_string(r.fast_retransmits),
                    std::to_string(r.rto_retransmits),
@@ -244,6 +256,8 @@ int main(int argc, char** argv) {
       t.add_row({stacks[s].label, loss_pct, to_string(r.report.status),
                  format("%.2f", r.stream.throughput_mbps),
                  with_commas(r.stream.link_dropped),
+                 with_commas(r.stream.drops.sock_backlog),
+                 with_commas(r.stream.drops.backpressure),
                  with_commas(r.faults.kicks_dropped),
                  with_commas(r.fast_retransmits),
                  with_commas(r.rto_retransmits),

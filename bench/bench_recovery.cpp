@@ -46,6 +46,8 @@ FaultPlan plan_for(LifecycleFault mode) {
     case LifecycleFault::kAvailTear: f.avail_tear_period = msec(103); break;
     case LifecycleFault::kHandlerWedge: f.handler_wedge_period = msec(89); break;
     case LifecycleFault::kWorkerCrash: f.worker_crash_period = msec(113); break;
+    // Livelock is driven by offered load (bench_storm), not the injector.
+    case LifecycleFault::kRxLivelock: break;
     case LifecycleFault::kCount: break;
   }
   return f;

@@ -4,6 +4,7 @@
 
 #include "base/assert.h"
 #include "base/strings.h"
+#include "metrics/metrics.h"
 
 namespace es2 {
 
@@ -24,9 +25,16 @@ class ApacheServer::Worker final : public GuestTask {
     block_self();
   }
 
-  void enqueue(HttpRequest req) {
+  /// False when the accept queue is full (the request is dropped — a real
+  /// server's listen/accept machinery is finite, and under a connection
+  /// storm this bound is what keeps memory flat).
+  bool enqueue(HttpRequest req) {
+    if (static_cast<int>(queue_.size()) >= server_.costs_.accept_queue) {
+      return false;
+    }
     queue_.push_back(req);
     wake();
+    return true;
   }
 
   void run_unit(Vcpu& vcpu) override {
@@ -72,7 +80,10 @@ class ApacheServer::Worker final : public GuestTask {
             if (sent) {
               sent_offset_ += payload;
               --segments_left_;
-              if (segments_left_ == 0) ++server_.served_;
+              if (segments_left_ == 0) {
+                ++server_.served_;
+                os().note_app_progress();
+              }
             } else {
               server_.dev_.add_tx_waiter(*this);
               block_self();
@@ -99,7 +110,7 @@ class ApacheServer::RequestSink final : public FlowSink {
                  std::function<void()> done) override {
     HttpRequest req{packet->flow, packet->probe_id};
     const size_t w = packet->flow % server_.workers_.size();
-    server_.workers_[w]->enqueue(req);
+    if (!server_.workers_[w]->enqueue(req)) ++server_.accept_queue_drops_;
     done();
   }
 
@@ -125,6 +136,8 @@ class ApacheServer::ListenerTask final : public GuestTask {
     return true;
   }
 
+  std::size_t backlog_size() const { return backlog_.size(); }
+
   void run_unit(Vcpu& vcpu) override {
     if (backlog_.empty()) {
       block_self();
@@ -147,12 +160,15 @@ class ApacheServer::ListenerTask final : public GuestTask {
           vcpu, make_packet(std::move(synack)), [this, &vcpu, probe](bool sent) {
             if (sent) {
               ++server_.accepts_;
+              os().note_app_progress();
               if (server_.costs_.serve_page_per_connection &&
                   !server_.workers_.empty()) {
                 // The new connection immediately carries one HTTP request.
                 const size_t w = probe % server_.workers_.size();
-                server_.workers_[w]->enqueue(
-                    HttpRequest{server_.listen_flow_, probe});
+                if (!server_.workers_[w]->enqueue(
+                        HttpRequest{server_.listen_flow_, probe})) {
+                  ++server_.accept_queue_drops_;
+                }
               }
             }
             os().task_done(vcpu);
@@ -173,6 +189,17 @@ class ApacheServer::ListenSink final : public FlowSink {
 
   void on_packet(Vcpu&, const PacketPtr& packet,
                  std::function<void()> done) override {
+    // Rung 3 of the overload ladder: SYN-cookie-style early shedding. The
+    // listen path refuses new connections beyond a tiny backlog *before*
+    // the expensive accept, reserving the remaining CPU for connections
+    // already admitted.
+    if (server_.dev_.overload_rung() >= 3 &&
+        server_.listener_->backlog_size() >=
+            static_cast<std::size_t>(server_.costs_.shed_backlog)) {
+      ++server_.shed_drops_;
+      done();
+      return;
+    }
     if (!server_.listener_->enqueue_syn(packet)) ++server_.syn_drops_;
     done();
   }
@@ -269,12 +296,15 @@ double AbClient::response_mbps(SimTime now) const {
 // ---------------------------------------------------------------------------
 
 HttperfClient::HttperfClient(PeerHost& peer, std::uint64_t listen_flow,
-                             double rate_per_sec, SimDuration syn_rto)
+                             double rate_per_sec, SimDuration syn_rto,
+                             int max_pending)
     : peer_(peer),
       listen_flow_(listen_flow),
       rate_(rate_per_sec),
-      syn_rto_(syn_rto) {
+      syn_rto_(syn_rto),
+      max_pending_(max_pending) {
   ES2_CHECK(rate_per_sec > 0);
+  ES2_CHECK(max_pending > 0);
   // Flow tables are per host: the guest's listener and this client both
   // key on the listen flow; SYN/ACKs route back here by the same id.
   peer.register_flow(listen_flow,
@@ -299,6 +329,12 @@ void HttperfClient::open_connection() {
 
 void HttperfClient::send_syn(std::uint64_t conn_id, SimTime first_attempt) {
   if (!running_) return;
+  if (static_cast<int>(pending_.size()) >= max_pending_) {
+    // Client-side socket/port exhaustion: the attempt is abandoned, not
+    // tracked forever — the pending table stays bounded by construction.
+    ++pending_overflows_;
+    return;
+  }
   pending_.emplace(conn_id, first_attempt);
   Packet syn;
   syn.proto = Proto::kTcp;
@@ -326,11 +362,33 @@ void HttperfClient::on_packet(const PacketPtr& packet) {
   ++established_;
 }
 
+void ApacheServer::register_metrics(MetricsRegistry& registry) {
+  const std::string vm = os_.vm().name();
+  MetricLabels labels = {{"vm", vm}};
+  registry.probe("app.httpd.accepts", labels, [this] {
+    return static_cast<double>(accepts_);
+  });
+  registry.probe("app.httpd.served", labels, [this] {
+    return static_cast<double>(served_);
+  });
+  registry.probe("drops", {{"cause", "syn_backlog"}, {"vm", vm}}, [this] {
+    return static_cast<double>(syn_drops_);
+  });
+  registry.probe("drops", {{"cause", "accept_queue"}, {"vm", vm}}, [this] {
+    return static_cast<double>(accept_queue_drops_);
+  });
+  registry.probe("drops", {{"cause", "accept_shed"}, {"vm", vm}}, [this] {
+    return static_cast<double>(shed_drops_);
+  });
+}
+
 void ApacheServer::snapshot_state(SnapshotWriter& w) const {
   w.put_u64(listen_flow_);
   w.put_i64(served_);
   w.put_i64(accepts_);
   w.put_i64(syn_drops_);
+  w.put_i64(accept_queue_drops_);
+  w.put_i64(shed_drops_);
   w.put_u32(static_cast<std::uint32_t>(workers_.size()));
 }
 
@@ -357,6 +415,7 @@ void HttperfClient::snapshot_state(SnapshotWriter& w) const {
   w.put_i64(attempted_);
   w.put_i64(established_);
   w.put_i64(retries_);
+  w.put_i64(pending_overflows_);
   w.put_i64(connect_time_.count());
   std::vector<std::uint64_t> keys;
   keys.reserve(pending_.size());

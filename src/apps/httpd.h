@@ -28,6 +28,15 @@ struct ApacheCosts {
   Bytes request_size = 150;
   Cycles accept_cost = 260000;    // accept() + socket + worker handoff + logging
   int syn_backlog = 128;
+  /// Per-worker accept/request queue depth. Requests past it are dropped
+  /// (counted as drops{cause=accept_queue}); the default is high enough
+  /// that paper-rate scenarios never trip it, so committed goldens keep
+  /// their exact behaviour — storm scenarios tighten it.
+  int accept_queue = 65536;
+  /// Rung-3 graceful degradation: once the guest's overload ladder reaches
+  /// kAcceptShed, the listen path sheds SYNs beyond this tiny backlog
+  /// (SYN-cookie-style early drop, before the expensive accept).
+  int shed_backlog = 16;
   /// Httperf connections are real HTTP conversations: each accepted
   /// connection also serves one page (request parse + page send), which is
   /// what saturates the server at the paper's knee rates.
@@ -48,6 +57,14 @@ class ApacheServer : public Snapshottable {
   std::int64_t requests_served() const { return served_; }
   std::int64_t accepts() const { return accepts_; }
   std::int64_t syn_drops() const { return syn_drops_; }
+  /// Requests dropped because a worker's accept queue was full.
+  std::int64_t accept_queue_drops() const { return accept_queue_drops_; }
+  /// SYNs shed by the rung-3 admission ladder (overload mitigation on).
+  std::int64_t shed_drops() const { return shed_drops_; }
+
+  /// Registers app-level telemetry: accepts/served plus the canonical
+  /// drops{cause=syn_backlog|accept_queue|accept_shed} family.
+  void register_metrics(MetricsRegistry& registry);
 
   void snapshot_state(SnapshotWriter& w) const override;
 
@@ -68,6 +85,8 @@ class ApacheServer : public Snapshottable {
   std::int64_t served_ = 0;
   std::int64_t accepts_ = 0;
   std::int64_t syn_drops_ = 0;
+  std::int64_t accept_queue_drops_ = 0;
+  std::int64_t shed_drops_ = 0;
 };
 
 /// ApacheBench: `concurrency` persistent connections, each repeatedly
@@ -108,8 +127,12 @@ class AbClient : public Snapshottable {
 /// time (SYN to SYN/ACK), retransmitting dropped SYNs after 1 second.
 class HttperfClient : public Snapshottable {
  public:
+  /// `max_pending` bounds the client-side pending-connection table (a real
+  /// load generator runs out of sockets/ports eventually); attempts past
+  /// it are abandoned and counted, not queued without limit.
   HttperfClient(PeerHost& peer, std::uint64_t listen_flow,
-                double rate_per_sec, SimDuration syn_rto = kSecond);
+                double rate_per_sec, SimDuration syn_rto = kSecond,
+                int max_pending = 1 << 20);
 
   void start();
   void stop() { running_ = false; }
@@ -118,6 +141,8 @@ class HttperfClient : public Snapshottable {
   std::int64_t attempted() const { return attempted_; }
   std::int64_t established() const { return established_; }
   std::int64_t retries() const { return retries_; }
+  /// Attempts abandoned because the pending table hit max_pending.
+  std::int64_t pending_overflows() const { return pending_overflows_; }
 
   void snapshot_state(SnapshotWriter& w) const override;
 
@@ -130,11 +155,13 @@ class HttperfClient : public Snapshottable {
   std::uint64_t listen_flow_;
   double rate_;
   SimDuration syn_rto_;
+  int max_pending_;
   bool running_ = false;
   std::uint64_t next_conn_ = 1;
   std::int64_t attempted_ = 0;
   std::int64_t established_ = 0;
   std::int64_t retries_ = 0;
+  std::int64_t pending_overflows_ = 0;
   Histogram connect_time_;
   std::unordered_map<std::uint64_t, SimTime> pending_;  // conn -> first SYN
 };

@@ -4,6 +4,7 @@
 
 #include "base/assert.h"
 #include "base/strings.h"
+#include "metrics/metrics.h"
 
 namespace es2 {
 
@@ -25,11 +26,16 @@ class MemcachedServer::Worker final : public GuestTask {
     block_self();  // idle until the sink queues work
   }
 
-  void enqueue(PendingRequest req) {
+  /// False when the worker queue is at its cap (the request is dropped).
+  bool enqueue(PendingRequest req) {
+    if (static_cast<int>(queue_.size()) >= server_.costs_.queue_cap) {
+      return false;
+    }
     queue_.push_back(req);
     server_.max_queue_depth_ =
         std::max(server_.max_queue_depth_, static_cast<int>(queue_.size()));
     wake();
+    return true;
   }
 
   void run_unit(Vcpu& vcpu) override {
@@ -59,6 +65,7 @@ class MemcachedServer::Worker final : public GuestTask {
           vcpu, make_packet(std::move(resp)), [this, &vcpu](bool sent) {
             if (sent) {
               ++server_.responses_;
+              os().note_app_progress();
             }
             // On a full ring the response is dropped; memaslap's outstanding
             // slot stalls, which is the real failure mode under overload.
@@ -85,7 +92,7 @@ class MemcachedServer::Sink final : public FlowSink {
     req.probe_id = packet->probe_id;
     req.is_get = packet->payload <= 128;  // gets carry tiny requests
     const size_t w = packet->flow % server_.workers_.size();
-    server_.workers_[w]->enqueue(req);
+    if (!server_.workers_[w]->enqueue(req)) ++server_.queue_drops_;
     done();
   }
 
@@ -176,10 +183,21 @@ double MemaslapClient::response_mbps(SimTime now) const {
   return mbps(resp_bytes_ - resp_bytes_base_, now - window_start_);
 }
 
+void MemcachedServer::register_metrics(MetricsRegistry& registry) {
+  const std::string vm = os_.vm().name();
+  registry.probe("app.memcached.responses", {{"vm", vm}}, [this] {
+    return static_cast<double>(responses_);
+  });
+  registry.probe("drops", {{"cause", "worker_queue"}, {"vm", vm}}, [this] {
+    return static_cast<double>(queue_drops_);
+  });
+}
+
 void MemcachedServer::snapshot_state(SnapshotWriter& w) const {
   w.put_i64(responses_);
   w.put_i64(response_bytes_);
   w.put_u32(static_cast<std::uint32_t>(max_queue_depth_));
+  w.put_i64(queue_drops_);
   w.put_u32(static_cast<std::uint32_t>(workers_.size()));
 }
 

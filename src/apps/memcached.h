@@ -26,6 +26,10 @@ struct MemcachedCosts {
   Bytes get_response = 1076;    // 1 KiB value + framing
   Bytes set_request = 1064;
   Bytes set_response = 8;
+  /// Per-worker request queue depth; requests past it are dropped
+  /// (drops{cause=worker_queue}). The default never trips at paper rates —
+  /// it exists so overload cannot grow the queue without bound.
+  int queue_cap = 65536;
 };
 
 class MemcachedServer : public Snapshottable {
@@ -42,6 +46,12 @@ class MemcachedServer : public Snapshottable {
   std::int64_t responses() const { return responses_; }
   Bytes response_bytes() const { return response_bytes_; }
   int max_queue_depth() const { return max_queue_depth_; }
+  /// Requests dropped because a worker's queue hit MemcachedCosts::queue_cap.
+  std::int64_t queue_drops() const { return queue_drops_; }
+
+  /// Registers app-level telemetry: responses plus the canonical
+  /// drops{cause=worker_queue} series.
+  void register_metrics(MetricsRegistry& registry);
 
   void snapshot_state(SnapshotWriter& w) const override;
 
@@ -57,6 +67,7 @@ class MemcachedServer : public Snapshottable {
   std::int64_t responses_ = 0;
   Bytes response_bytes_ = 0;
   int max_queue_depth_ = 0;
+  std::int64_t queue_drops_ = 0;
 };
 
 class MemaslapClient : public Snapshottable {

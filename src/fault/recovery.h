@@ -32,10 +32,13 @@ class Histogram;
 /// Fault scopes: a single queue, or the whole worker/device. Worker-scope
 /// instances are closed by progress on either queue (the worker serving
 /// anything proves it restarted); queue-scope instances only by progress
-/// on their own queue.
+/// on their own queue. App scope covers receive livelock: packets flow the
+/// whole time, so only application-level progress (an accept, a served
+/// request) may close the instance — queue/worker progress never does.
 inline constexpr int kScopeTx = 0;
 inline constexpr int kScopeRx = 1;
 inline constexpr int kScopeWorker = 2;
+inline constexpr int kScopeApp = 3;
 
 struct FaultInstance {
   std::int64_t id = 0;
@@ -94,6 +97,9 @@ class RecoveryLog : public Snapshottable {
 
  private:
   static bool scopes_overlap(int a, int b) {
+    // App scope is deliberately narrow: during a livelock the dataplane
+    // scopes make constant progress, so only app progress may match.
+    if (a == kScopeApp || b == kScopeApp) return a == b;
     return a == b || a == kScopeWorker || b == kScopeWorker;
   }
 

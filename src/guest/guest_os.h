@@ -119,6 +119,15 @@ class GuestOs final : public GuestCpu, public Snapshottable {
 
   std::int64_t packets_to_unknown_flows() const { return unknown_flow_; }
 
+  // --- application progress (overload detection) ----------------------------
+  /// Apps call this from task context when they complete application-level
+  /// work (an accept, a served page, a memcached response). The receive-
+  /// livelock detector keys off this figure: sustained poll work with a
+  /// flat app-progress counter IS livelock. Pure integer bookkeeping — no
+  /// events, no cycles — so reporting progress never perturbs schedules.
+  void note_app_progress() { ++app_progress_; }
+  std::int64_t app_progress() const { return app_progress_; }
+
   /// Registers kernel-level telemetry — flow demux misses (label
   /// vm=<name>) — plus each attached netdev's driver probes.
   void register_metrics(MetricsRegistry& registry);
@@ -143,6 +152,7 @@ class GuestOs final : public GuestCpu, public Snapshottable {
   std::vector<VirtioNetFrontend*> netdevs_;
   std::unordered_map<std::uint64_t, FlowSink*> flows_;
   std::int64_t unknown_flow_ = 0;
+  std::int64_t app_progress_ = 0;
 };
 
 }  // namespace es2

@@ -69,6 +69,31 @@ struct GuestParams {
   Cycles device_reset_cost = 60000;  // full virtio_device_reset path
   Cycles renegotiate_cost = 15000;   // feature negotiation + vq re-setup
 
+  // --- overload: receive-livelock detection + admission ladder --------------
+  /// Arms the receive-livelock detector and the graceful-degradation ladder
+  /// (NAPI budget clamp -> backend RX backpressure -> accept shedding).
+  /// Off by default so every committed golden keeps bit-identical schedules:
+  /// when off, no ksoftirqd task exists, no detector state is sampled and
+  /// the NAPI budget-refresh loop behaves exactly as before. Scenarios that
+  /// arm it must run an app that reports progress via
+  /// GuestOs::note_app_progress (httpd accepts/served, memcached responses);
+  /// pure in-softirq sinks would read as permanently livelocked.
+  bool overload_mitigation = false;
+  /// Packets polled per ksoftirqd work unit once the ladder reaches rung 1
+  /// (the NAPI budget clamp). Small enough that the round-robin scheduler
+  /// interleaves application tasks between batches.
+  int napi_budget_clamp = 16;
+  /// RX polls between two detector samples (one guest timer tick, from any
+  /// vCPU) that count as storm-level interrupt+poll work.
+  std::int64_t livelock_poll_threshold = 64;
+  /// Consecutive storming zero-progress samples before the ladder escalates
+  /// one rung.
+  int livelock_trip_ticks = 2;
+  /// Consecutive healthy samples (progress flowing AND poll pressure below
+  /// threshold) before the ladder de-escalates one rung — the latch that
+  /// keeps mitigation engaged through the storm instead of flapping.
+  int livelock_clear_ticks = 8;
+
   // --- misc ----------------------------------------------------------------
   Cycles rx_refill_per_buffer = 300;
   /// Multiplicative per-work-unit cost jitter (uniform +/- fraction):

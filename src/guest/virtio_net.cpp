@@ -11,6 +11,26 @@
 
 namespace es2 {
 
+/// Linux's per-CPU softirq thread, modelled as a guest task pinned to
+/// vCPU 0 (where NAPI runs). It exists only when overload mitigation is
+/// armed; rung 1 of the admission ladder defers budget-exhausted NAPI
+/// passes here, so the round-robin scheduler fair-shares the CPU between
+/// polling and the application instead of letting softirq context starve
+/// it — the Mogul/Ramakrishnan receive-livelock fix.
+class VirtioNetFrontend::KsoftirqdTask final : public GuestTask {
+ public:
+  KsoftirqdTask(VirtioNetFrontend& fe, GuestOs& os)
+      : GuestTask(os, "ksoftirqd/0", /*vcpu_affinity=*/0), fe_(fe) {
+    block_self();
+  }
+  void run_unit(Vcpu& vcpu) override { fe_.ksoftirqd_unit(vcpu); }
+
+ private:
+  VirtioNetFrontend& fe_;
+};
+
+VirtioNetFrontend::~VirtioNetFrontend() = default;
+
 VirtioNetFrontend::VirtioNetFrontend(GuestOs& os, VhostNetBackend& backend)
     : os_(os), backend_(backend) {
   const int pairs = backend_.num_queue_pairs();
@@ -43,6 +63,13 @@ VirtioNetFrontend::VirtioNetFrontend(GuestOs& os, VhostNetBackend& backend)
   }
   backend_.write_status(kStatusAcknowledge | kStatusDriver |
                         kStatusFeaturesOk | kStatusDriverOk);
+  ksoftirqd_pending_.assign(static_cast<std::size_t>(pairs), 0);
+  if (os.params().overload_mitigation) {
+    // Created only when armed: unarmed worlds keep their task list — and
+    // therefore their round-robin schedules and snapshot bytes — unchanged.
+    ksoftirqd_ = std::make_unique<KsoftirqdTask>(*this, os);
+    os.add_task(*ksoftirqd_);
+  }
   os.attach_netdev(*this);
 }
 
@@ -170,6 +197,15 @@ void VirtioNetFrontend::napi_poll_one(Vcpu& vcpu, int pair, int budget_left,
     os_.deliver_to_stack(
         vcpu, packet,
         [this, &vcpu, pair, budget_left, done = std::move(done)]() mutable {
+          if (budget_left <= 1 && overload_rung_ >= 1 &&
+              ksoftirqd_ != nullptr) {
+            // Budget spent at rung >= 1: hand the still-loaded ring to
+            // ksoftirqd (task context) instead of refreshing the budget in
+            // softirq context, ending the interrupt pass.
+            ksoftirqd_defer(vcpu, pair);
+            done();
+            return;
+          }
           // Linux reschedules the softirq when the budget is spent; the
           // net effect under sustained load is continued polling, which is
           // what we model.
@@ -188,6 +224,11 @@ void VirtioNetFrontend::finish_poll(Vcpu& vcpu, int pair,
     if (rx.used_count() > 0) {
       // Race: more packets completed between the last poll and re-enable.
       rx.disable_interrupts();
+      if (overload_rung_ >= 1 && ksoftirqd_ != nullptr) {
+        ksoftirqd_defer(vcpu, pair);
+        done();
+        return;
+      }
       napi_poll_one(vcpu, pair, os_.params().napi_weight, std::move(done));
       return;
     }
@@ -334,6 +375,12 @@ void VirtioNetFrontend::transmit(Vcpu& vcpu, PacketPtr packet,
 
 void VirtioNetFrontend::tx_watchdog_tick(Vcpu& vcpu,
                                          std::function<void()> done) {
+  // The receive-livelock detector piggybacks on the same tick. Every
+  // vCPU's staggered timer runs it, so it keeps sampling even while the
+  // NAPI vCPU is wedged; on a single-vCPU guest the timer interrupt
+  // preempts the poll chain mid-segment, which is exactly how a real tick
+  // gets through a livelocked CPU. Pure state bookkeeping, no cycles.
+  if (ksoftirqd_ != nullptr) overload_tick(vcpu);
   // Sample every pair's stall signatures up front (pure reads); the
   // recovery work below may reset queues, and the flags must reflect the
   // state at tick entry, exactly as the single-queue driver captured them
@@ -585,6 +632,218 @@ void VirtioNetFrontend::register_lifecycle_metrics(MetricsRegistry& registry) {
   registry.probe("guest.net.ladder_device_resets", labels, [this] {
     return static_cast<double>(ladder_device_resets_);
   });
+}
+
+// ---------------------------------------------------------------------------
+// Overload: receive-livelock detection + graceful-degradation ladder
+// ---------------------------------------------------------------------------
+
+void VirtioNetFrontend::overload_tick(Vcpu& vcpu) {
+  const GuestParams& p = os_.params();
+  const std::int64_t polls = rx_polled_;
+  const std::int64_t progress = os_.app_progress();
+  const std::int64_t poll_delta = polls - overload_last_polls_;
+  const std::int64_t progress_delta = progress - overload_last_progress_;
+  overload_last_polls_ = polls;
+  overload_last_progress_ = progress;
+  if (overload_episode_open_ && progress_delta > 0) {
+    // First application-level progress since detection: the episode's MTTR
+    // clock stops here, even though the ladder stays latched until the
+    // storm actually subsides.
+    overload_episode_open_ = false;
+    if (RecoveryLog* log = backend_.recovery_log()) {
+      log->note_progress(kScopeApp, os_.vm().host().sim().now());
+    }
+  }
+  const bool storming = poll_delta >= p.livelock_poll_threshold;
+  if (storming && progress_delta == 0) {
+    // The livelock signature: the kernel is demonstrably busy taking
+    // interrupts and polling packets, yet the application completes
+    // nothing. (Merely idle guests never trip this: no polls, no strikes.)
+    overload_clear_ = 0;
+    if (++overload_strikes_ >= p.livelock_trip_ticks) {
+      overload_strikes_ = 0;
+      overload_escalate(vcpu);
+    }
+    return;
+  }
+  overload_strikes_ = 0;
+  if (overload_rung_ > 0 && progress_delta > 0 && !storming) {
+    // Healthy sample: progress flowing and poll pressure below storm
+    // level. De-escalation is latched behind a run of these so the ladder
+    // holds through the storm instead of flapping at its edges.
+    if (++overload_clear_ >= p.livelock_clear_ticks) {
+      overload_clear_ = 0;
+      overload_deescalate();
+    }
+    return;
+  }
+  overload_clear_ = 0;
+}
+
+void VirtioNetFrontend::overload_escalate(Vcpu& vcpu) {
+  (void)vcpu;
+  if (overload_rung_ >= 3) return;  // top rung: hold until samples clear
+  ++overload_rung_;
+  overload_max_rung_ = std::max(overload_max_rung_, overload_rung_);
+  RecoveryLog* log = backend_.recovery_log();
+  if (overload_rung_ == 1) {
+    // Detection proper: open a recovery episode so MTTR (time back to the
+    // first accepted connection / served response) lands in the same
+    // report as every other fault class.
+    ++livelock_detections_;
+    overload_episode_open_ = true;
+    if (log != nullptr) {
+      std::uint64_t corr = 0;
+#if ES2_TRACE_ENABLED
+      if (Tracer* tr = active_tracer(vcpu.vm().host().sim())) {
+        corr = tr->current_service(vcpu.vm().id(), vcpu.index());
+      }
+#endif
+      log->open(LifecycleFault::kRxLivelock, kScopeApp,
+                os_.vm().host().sim().now(), corr);
+      log->note_action(RecoveryRung::kNapiClamp, kScopeApp);
+    }
+  } else if (overload_rung_ == 2) {
+    backend_.set_rx_backpressure(true);
+    if (log != nullptr) log->note_action(RecoveryRung::kRxBackpressure, kScopeApp);
+  } else {
+    // Rung 3 is applied by the application, which polls overload_rung().
+    if (log != nullptr) log->note_action(RecoveryRung::kAcceptShed, kScopeApp);
+  }
+#if ES2_TRACE_ENABLED
+  if (Tracer* tr = active_tracer(vcpu.vm().host().sim())) {
+    tr->emit(vcpu.vm().host().sim().now(), TraceKind::kWatchdogRecover,
+             vcpu.vm().id(), vcpu.index(), -1, /*arg=*/2 + overload_rung_);
+  }
+#endif
+}
+
+void VirtioNetFrontend::overload_deescalate() {
+  if (overload_rung_ == 0) return;
+  if (overload_rung_ == 2) backend_.set_rx_backpressure(false);
+  --overload_rung_;
+}
+
+void VirtioNetFrontend::ksoftirqd_defer(Vcpu& vcpu, int pair) {
+  (void)vcpu;
+  ++ksoftirqd_defers_;
+  ksoftirqd_pending_[static_cast<std::size_t>(pair)] = 1;
+#if ES2_PROFILE_ENABLED
+  // The softirq pass genuinely ends here; ksoftirqd's polling is ordinary
+  // task work, so the NAPI span closes now.
+  if (Profiler* pf = active_profiler(vcpu.vm().host().sim())) {
+    pf->span_end(ProfComp::kGuestNapi,
+                 static_cast<unsigned>(vcpu.vm().id() * 16 + pair),
+                 vcpu.vm().host().sim().now());
+  }
+#endif
+#if ES2_TRACE_ENABLED
+  if (Tracer* tr = active_tracer(vcpu.vm().host().sim())) {
+    // arg=1 marks a ksoftirqd handoff (plain poll passes emit arg=0).
+    tr->emit(vcpu.vm().host().sim().now(), TraceKind::kNapiPoll,
+             vcpu.vm().id(), vcpu.index(), -1, /*arg=*/1,
+             tr->current_service(vcpu.vm().id(), vcpu.index()));
+  }
+#endif
+  ksoftirqd_->wake();
+}
+
+void VirtioNetFrontend::ksoftirqd_unit(Vcpu& vcpu) {
+  int pair = -1;
+  for (std::size_t i = 0; i < ksoftirqd_pending_.size(); ++i) {
+    if (ksoftirqd_pending_[i] != 0) {
+      pair = static_cast<int>(i);
+      break;
+    }
+  }
+  if (pair < 0) {
+    ksoftirqd_->block_self();
+    os_.task_done(vcpu);
+    return;
+  }
+  ksoftirqd_poll(vcpu, pair, os_.params().napi_budget_clamp);
+}
+
+void VirtioNetFrontend::ksoftirqd_poll(Vcpu& vcpu, int pair, int budget_left) {
+  if (budget_left <= 0) {
+    // Batch done, ring still loaded: yield so the round-robin scheduler
+    // interleaves application tasks between batches — this is the fair
+    // share that restores forward progress. The pair stays pending and
+    // the task stays runnable.
+    os_.task_done(vcpu);
+    return;
+  }
+  Virtqueue& rx = backend_.rx_vq(pair);
+  auto entry = rx.pop_used();
+  if (!entry) {
+    ksoftirqd_finish(vcpu, pair);
+    return;
+  }
+  ES2_CHECK_MSG(entry->packet != nullptr, "used RX entry without a packet");
+  const Cycles cost = rx_packet_cost(os_.params(), *entry->packet);
+  PacketPtr packet = entry->packet;
+  vcpu.guest_exec(cost, [this, &vcpu, pair, budget_left,
+                         packet = std::move(packet)]() mutable {
+    ++rx_polled_;
+    ++rx_polled_by_pair_[static_cast<std::size_t>(pair)];
+    ++ksoftirqd_polls_;
+    os_.deliver_to_stack(vcpu, packet, [this, &vcpu, pair, budget_left] {
+      ksoftirqd_poll(vcpu, pair, budget_left - 1);
+    });
+  });
+}
+
+void VirtioNetFrontend::ksoftirqd_finish(Vcpu& vcpu, int pair) {
+  // Pass epilogue in task context, mirroring finish_poll: refill, re-arm
+  // interrupts, handle the completion race (by staying pending and taking
+  // another scheduling turn rather than re-polling inline).
+  refill_rx(vcpu, pair, [this, &vcpu, pair] {
+    Virtqueue& rx = backend_.rx_vq(pair);
+    rx.enable_interrupts();
+    if (rx.used_count() > 0) {
+      rx.disable_interrupts();
+      os_.task_done(vcpu);
+      return;
+    }
+    ksoftirqd_pending_[static_cast<std::size_t>(pair)] = 0;
+    if (!tx_waiters_.empty()) backend_.tx_vq(pair).enable_interrupts();
+    vcpu.guest_exec(os_.params().napi_complete,
+                    [this, &vcpu] { os_.task_done(vcpu); });
+  });
+}
+
+void VirtioNetFrontend::register_overload_metrics(MetricsRegistry& registry) {
+  MetricLabels labels = {{"vm", os_.vm().name()}};
+  registry.probe("guest.net.overload.rung", labels, [this] {
+    return static_cast<double>(overload_rung_);
+  });
+  registry.probe("guest.net.overload.max_rung", labels, [this] {
+    return static_cast<double>(overload_max_rung_);
+  });
+  registry.probe("guest.net.overload.livelock_detections", labels, [this] {
+    return static_cast<double>(livelock_detections_);
+  });
+  registry.probe("guest.net.overload.ksoftirqd_defers", labels, [this] {
+    return static_cast<double>(ksoftirqd_defers_);
+  });
+  registry.probe("guest.net.overload.ksoftirqd_polls", labels, [this] {
+    return static_cast<double>(ksoftirqd_polls_);
+  });
+}
+
+void VirtioNetFrontend::snapshot_overload_state(SnapshotWriter& w) const {
+  w.put_u32(static_cast<std::uint32_t>(overload_rung_));
+  w.put_u32(static_cast<std::uint32_t>(overload_max_rung_));
+  w.put_u32(static_cast<std::uint32_t>(overload_strikes_));
+  w.put_u32(static_cast<std::uint32_t>(overload_clear_));
+  w.put_bool(overload_episode_open_);
+  w.put_i64(overload_last_polls_);
+  w.put_i64(overload_last_progress_);
+  w.put_i64(livelock_detections_);
+  w.put_i64(ksoftirqd_defers_);
+  w.put_i64(ksoftirqd_polls_);
+  for (char pend : ksoftirqd_pending_) w.put_bool(pend != 0);
 }
 
 void VirtioNetFrontend::snapshot_lifecycle_state(SnapshotWriter& w) const {

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "guest/guest_params.h"
@@ -28,6 +29,7 @@ class MetricsRegistry;
 class VirtioNetFrontend {
  public:
   VirtioNetFrontend(GuestOs& os, VhostNetBackend& backend);
+  ~VirtioNetFrontend();
   VirtioNetFrontend(const VirtioNetFrontend&) = delete;
   VirtioNetFrontend& operator=(const VirtioNetFrontend&) = delete;
 
@@ -64,6 +66,22 @@ class VirtioNetFrontend {
   std::int64_t ladder_queue_resets() const { return ladder_queue_resets_; }
   std::int64_t ladder_device_resets() const { return ladder_device_resets_; }
 
+  // --- overload: receive-livelock detector + admission ladder ---------------
+  /// Current admission-ladder rung: 0 none, 1 NAPI budget clamp (polling
+  /// defers to the ksoftirqd task), 2 adds backend RX backpressure at the
+  /// link, 3 adds SYN-cookie-style accept shedding (applied by the app,
+  /// which reads this). Always 0 unless GuestParams::overload_mitigation.
+  int overload_rung() const { return overload_rung_; }
+  /// Highest rung reached over the run (collapse-severity telemetry).
+  int overload_max_rung() const { return overload_max_rung_; }
+  /// Livelock episodes detected (rung 0 -> 1 transitions).
+  std::int64_t livelock_detections() const { return livelock_detections_; }
+  /// NAPI passes whose budget exhausted at rung >= 1 and handed the ring to
+  /// ksoftirqd instead of refreshing the budget in softirq context.
+  std::int64_t ksoftirqd_defers() const { return ksoftirqd_defers_; }
+  /// Packets polled in ksoftirqd task context (fair-shared with app tasks).
+  std::int64_t ksoftirqd_polls() const { return ksoftirqd_polls_; }
+
   std::int64_t tx_queue_stops() const { return tx_stops_; }
   std::int64_t rx_polled() const { return rx_polled_; }
   std::int64_t kicks() const { return kicks_; }
@@ -93,6 +111,16 @@ class VirtioNetFrontend {
   /// faults are armed.
   void snapshot_lifecycle_state(SnapshotWriter& w) const;
 
+  /// Overload detector/ladder telemetry (label vm=<name>); registered by
+  /// the harness only when overload mitigation is armed so the frozen
+  /// instrument set stays unchanged elsewhere.
+  void register_overload_metrics(MetricsRegistry& registry);
+
+  /// Serializes detector + ladder + ksoftirqd state; registered as its own
+  /// side section only when overload mitigation is armed (same discipline
+  /// as snapshot_lifecycle_state).
+  void snapshot_overload_state(SnapshotWriter& w) const;
+
  private:
   /// Status-register bring-up shared by the constructor and the device-
   /// reset rung: ACKNOWLEDGE -> DRIVER -> feature ack -> FEATURES_OK ->
@@ -116,6 +144,26 @@ class VirtioNetFrontend {
   /// Frees completed TX descriptors; wakes stopped-queue waiters.
   void reclaim_tx(Vcpu& vcpu, int pair, std::function<void()> done);
   void refill_rx(Vcpu& vcpu, int pair, std::function<void()> done);
+
+  // --- overload internals ---------------------------------------------------
+  class KsoftirqdTask;
+  /// Detector sample, run from the watchdog tick (any vCPU's timer): storm
+  /// poll work with a flat app-progress counter escalates the ladder; calm
+  /// healthy samples de-escalate it. Pure state bookkeeping, no cycles.
+  void overload_tick(Vcpu& vcpu);
+  void overload_escalate(Vcpu& vcpu);
+  void overload_deescalate();
+  /// Marks `pair` pending for ksoftirqd and wakes the task; the caller
+  /// completes its own `done` continuation afterwards (ends the softirq
+  /// pass).
+  void ksoftirqd_defer(Vcpu& vcpu, int pair);
+  /// One ksoftirqd scheduling turn: polls a clamped batch off one pending
+  /// pair, then yields so app tasks interleave.
+  void ksoftirqd_unit(Vcpu& vcpu);
+  void ksoftirqd_poll(Vcpu& vcpu, int pair, int budget_left);
+  /// Pass epilogue in task context: refill, re-enable interrupts, handle
+  /// the completion race (which re-queues the pair instead of re-polling).
+  void ksoftirqd_finish(Vcpu& vcpu, int pair);
 
   GuestOs& os_;
   VhostNetBackend& backend_;
@@ -149,6 +197,21 @@ class VirtioNetFrontend {
   std::vector<int> ladder_recent_;
   std::int64_t ladder_queue_resets_ = 0;
   std::int64_t ladder_device_resets_ = 0;
+  // Overload state (snapshot via snapshot_overload_state only; the task
+  // exists only when GuestParams::overload_mitigation is set, so unarmed
+  // worlds keep their task list, schedules and snapshot bytes unchanged).
+  std::unique_ptr<GuestTask> ksoftirqd_;
+  std::vector<char> ksoftirqd_pending_;
+  int overload_rung_ = 0;
+  int overload_max_rung_ = 0;
+  int overload_strikes_ = 0;
+  int overload_clear_ = 0;
+  bool overload_episode_open_ = false;  // RecoveryLog instance awaiting progress
+  std::int64_t overload_last_polls_ = 0;
+  std::int64_t overload_last_progress_ = 0;
+  std::int64_t livelock_detections_ = 0;
+  std::int64_t ksoftirqd_defers_ = 0;
+  std::int64_t ksoftirqd_polls_ = 0;
 };
 
 }  // namespace es2

@@ -192,6 +192,18 @@ ExitBreakdown exit_breakdown(const ExitStats& stats, SimTime now) {
 
 namespace {
 
+/// Wire/vhost rows of the canonical drops{cause=...} family for a stream
+/// run (streams have no app-level finite queues; those causes stay zero).
+DropCounts stream_drops(Testbed& tb) {
+  DropCounts d;
+  d.wire = static_cast<std::int64_t>(tb.vm_to_peer().packets_dropped() +
+                                     tb.peer_to_vm().packets_dropped());
+  d.backpressure = static_cast<std::int64_t>(tb.vm_to_peer().packets_shed() +
+                                             tb.peer_to_vm().packets_shed());
+  d.sock_backlog = tb.backend().rx_dropped();
+  return d;
+}
+
 /// Measurement-window bookkeeping shared by the healthy and chaos runners.
 struct StreamWindow {
   SimTime start = 0;
@@ -250,6 +262,7 @@ struct StreamWindow {
     result.rx_dropped = tb.backend().rx_dropped();
     result.link_dropped = static_cast<std::int64_t>(
         tb.vm_to_peer().packets_dropped() + tb.peer_to_vm().packets_dropped());
+    result.drops = stream_drops(tb);
     return result;
   }
 };
@@ -337,6 +350,7 @@ ChaosStreamResult supervise_stream(Testbed& tb, StreamWorkload& w,
     result.stream.rx_dropped = tb.backend().rx_dropped();
     result.stream.link_dropped = static_cast<std::int64_t>(
         tb.vm_to_peer().packets_dropped() + tb.peer_to_vm().packets_dropped());
+    result.stream.drops = stream_drops(tb);
   }
 
   if (drain > 0) {
@@ -630,6 +644,106 @@ HttperfResult run_httperf(const HttperfOptions& opts) {
   result.metrics = harvest_metrics(tb);
   result.hashes = harvest_hashes(tb);
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// Connection storms
+// ---------------------------------------------------------------------------
+
+StormResult run_storm(const StormOptions& opts, const std::string& name) {
+  TestbedOptions to = testbed_options(opts.config, /*macro=*/false, opts.seed);
+  to.guest_params.overload_mitigation = opts.mitigation;
+  to.trace = opts.trace;
+  to.profile = opts.profile;
+  to.metrics = opts.metrics;
+  to.snapshot = opts.snapshot;
+  Testbed tb(to);
+  ApacheCosts costs;
+  costs.syn_backlog = opts.syn_backlog;
+  costs.accept_queue = opts.accept_queue;
+  ApacheServer server(tb.guest(), tb.frontend(), /*base_flow=*/4000,
+                      /*client_conns=*/1, opts.workers, costs);
+  StormClient client(tb.peer(), server.listen_flow(), opts.shape, opts.syn_rto,
+                     opts.max_retries, /*max_pending=*/65536, opts.syn_payload);
+  server.register_metrics(tb.metrics());
+  tb.snapshotter().add("app/httpd", server);
+  tb.snapshotter().add("app/storm", client);
+
+  tb.start();
+  // No-load settle (boot, negotiation); the generator starts cold.
+  tb.sim().run_for(opts.warmup);
+
+  ScenarioWatchdog wd(tb.sim(), opts.budget);
+  const auto progress = [&client, &server] {
+    return client.established() + server.requests_served();
+  };
+  // Low-level work keeps climbing while the app starves: that is the
+  // livelock signature the watchdog separates from a generic wedge.
+  wd.set_activity_probe([&tb] {
+    return tb.frontend().rx_polled() + tb.backend().rx_packets();
+  });
+
+  const SimTime t0 = tb.sim().now();
+  client.begin_window(t0);
+  client.start();
+  const StormShape& sh = opts.shape;
+  const SimDuration span = sh.ramp_up + sh.hold + sh.ramp_down + opts.cooldown;
+  wd.run_for(span, progress);
+  // An *expected* livelock verdict ends supervision, not the experiment:
+  // finish the storm span unsupervised so both arms of a mitigation
+  // comparison measure the same simulated interval.
+  if (opts.expect_livelock && wd.status() == ScenarioStatus::kLivelock &&
+      tb.sim().now() < t0 + span) {
+    tb.sim().run_for(t0 + span - tb.sim().now());
+  }
+  client.stop();
+
+  const SimTime now = tb.sim().now();
+  StormResult r;
+  r.attempted = client.attempted();
+  r.established = client.established();
+  r.retries = client.retries();
+  r.abandoned = client.abandoned();
+  r.client_pending_overflows = client.pending_overflows();
+  r.accepts = server.accepts();
+  r.served = server.requests_served();
+  r.goodput_mbps = client.goodput_mbps(now);
+  r.conns_per_sec = client.conns_per_sec(now);
+  r.connect_p50_ms = static_cast<double>(client.connect_time().p50()) / 1e6;
+  r.connect_p99_ms = static_cast<double>(client.connect_time().p99()) / 1e6;
+  r.drops = stream_drops(tb);
+  r.drops.syn_backlog = server.syn_drops();
+  r.drops.accept_queue = server.accept_queue_drops();
+  r.drops.accept_shed = server.shed_drops();
+  r.overload_max_rung = tb.frontend().overload_max_rung();
+  r.livelock_detections = tb.frontend().livelock_detections();
+  r.ksoftirqd_defers = tb.frontend().ksoftirqd_defers();
+  r.ksoftirqd_polls = tb.frontend().ksoftirqd_polls();
+  if (const RecoveryLog* log = tb.recovery_log()) {
+    Histogram mttr;
+    for (const FaultInstance& fi : log->instances()) {
+      if (fi.mode != LifecycleFault::kRxLivelock) continue;
+      ++r.episodes;
+      if (fi.recovered()) {
+        ++r.episodes_recovered;
+        mttr.record(fi.mttr());
+      }
+    }
+    r.mttr_p50 = mttr.p50();
+    r.mttr_p99 = mttr.p99();
+  }
+  r.worker_active_high_water = tb.vhost_worker().active_high_water();
+  r.report = wd.report(name);
+  r.livelocked = r.report.status == ScenarioStatus::kLivelock;
+  r.livelock_expected = opts.expect_livelock;
+  r.trace = harvest_trace(tb);
+  r.profile = harvest_profile(tb);
+  r.stages = trace_stages(r.trace.get());
+  r.metrics = harvest_metrics(tb);
+  r.hashes = harvest_hashes(tb);
+  // Unacceptable verdicts carry the top moving metrics, same as chaos.
+  if (!r.acceptable()) r.report.telemetry = r.metrics->top_deltas;
+  return r;
 }
 
 }  // namespace es2

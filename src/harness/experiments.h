@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "apps/storm.h"
 #include "es2/config.h"
 #include "harness/runner.h"
 #include "harness/testbed.h"
@@ -103,6 +104,24 @@ struct ExitBreakdown {
 
 ExitBreakdown exit_breakdown(const ExitStats& stats, SimTime now);
 
+/// The canonical drops{cause=...} family, harvested as one row per cause.
+/// Every intentionally finite queue on the event path reports here; a
+/// packet that vanishes without landing in one of these is a bug.
+struct DropCounts {
+  std::int64_t wire = 0;          // link loss (fault-injected)
+  std::int64_t backpressure = 0;  // rung-2 ingress shedding (1-in-N keep)
+  std::int64_t sock_backlog = 0;  // vhost RX ring overflow
+  std::int64_t syn_backlog = 0;   // guest listen backlog overflow
+  std::int64_t accept_queue = 0;  // per-worker accept/request queue full
+  std::int64_t accept_shed = 0;   // rung-3 SYN-cookie-style early drop
+  std::int64_t worker_queue = 0;  // app worker queue full (memcached)
+
+  std::int64_t total() const {
+    return wire + backpressure + sock_backlog + syn_backlog + accept_queue +
+           accept_shed + worker_queue;
+  }
+};
+
 // ---------------------------------------------------------------------------
 // Netperf streams (Table I, Fig. 4, Fig. 5, Fig. 6)
 // ---------------------------------------------------------------------------
@@ -153,6 +172,10 @@ struct StreamResult {
   double guest_irqs_per_sec = 0;  // interrupts taken through the guest IDT
   std::int64_t rx_dropped = 0;    // vhost RX ring overflow drops
   std::int64_t link_dropped = 0;  // wire drops, both directions
+  /// Same drops broken out by canonical cause (rx_dropped ==
+  /// drops.sock_backlog, link_dropped == drops.wire; kept as flat fields
+  /// too so existing consumers read unchanged).
+  DropCounts drops;
   /// Null unless the run was traced.
   std::shared_ptr<TraceData> trace;
   TraceStages stages;
@@ -401,5 +424,113 @@ struct HttperfResult {
 };
 
 HttperfResult run_httperf(const HttperfOptions& opts);
+
+// ---------------------------------------------------------------------------
+// Connection storms: overload, receive livelock, graceful degradation
+// ---------------------------------------------------------------------------
+
+struct StormOptions {
+  Es2Config config;
+  /// Arrival-rate envelope (ramp / hold / ramp-down / diurnal bursts).
+  StormShape shape;
+  /// Arm the guest's overload ladder (livelock detector + ksoftirqd +
+  /// backpressure + accept shedding). Off reproduces the classic receive
+  /// livelock; on is the graceful-degradation arm of the same cell.
+  bool mitigation = false;
+  /// Server sizing. The storm defaults tighten the accept queue well below
+  /// its paper-rate default so overload actually overflows something.
+  int workers = 4;
+  int syn_backlog = 128;
+  int accept_queue = 512;
+  /// Client impatience: aggressive SYN RTO sustains the retransmit
+  /// flywheel; the retry cap is what eventually deflates it.
+  SimDuration syn_rto = msec(50);
+  int max_retries = 5;
+  /// TFO request payload per SYN: the data-bearing SYN takes the full TCP
+  /// receive path (rx_tcp_per_packet, ~8.5k cycles) instead of the cheap
+  /// ACK path. Payload size itself barely moves the per-packet cost
+  /// (rx_cycles_per_byte is fractional) — peak_rate is the overload knob.
+  Bytes syn_payload = 64;
+  std::uint64_t seed = 1;
+  /// No-load settle before the generator starts.
+  SimDuration warmup = msec(100);
+  /// Post-storm observation span (recovery back to base-rate service).
+  SimDuration cooldown = msec(300);
+  /// A mitigations-off cell at a collapsing ramp is SUPPOSED to trip the
+  /// scenario watchdog with kLivelock; set this so the runner finishes the
+  /// full storm span unsupervised after the (expected) verdict, keeping
+  /// the measured span identical across both arms of the comparison.
+  bool expect_livelock = false;
+  /// Watchdog budget. stall_tolerance defaults to 8 progress units per
+  /// 50 ms window (160 conn/s): a livelocked listener still trickles a few
+  /// accepts per window when the timer tick briefly interrupts the poll
+  /// chain, while healthy storm cells clear hundreds per window — receive
+  /// livelock is collapse to near-zero, not bit-exact zero.
+  ScenarioBudget budget = [] {
+    ScenarioBudget b;
+    b.stall_tolerance = 8;
+    return b;
+  }();
+  TraceOptions trace;
+  ProfileOptions profile;
+  MetricsOptions metrics;
+  SnapshotOptions snapshot;
+};
+
+struct StormResult {
+  // Client-side connection accounting (whole storm span).
+  std::int64_t attempted = 0;
+  std::int64_t established = 0;
+  std::int64_t retries = 0;
+  std::int64_t abandoned = 0;
+  std::int64_t client_pending_overflows = 0;
+  // Server-side service.
+  std::int64_t accepts = 0;
+  std::int64_t served = 0;
+  double goodput_mbps = 0;     // page bytes delivered back to the client
+  double conns_per_sec = 0;    // established rate over the storm span
+  double connect_p50_ms = 0;   // SYN -> SYN/ACK
+  double connect_p99_ms = 0;
+  /// Every drop on the path, by canonical cause. Under overload these are
+  /// the design working as intended — the blame table of where load shed.
+  DropCounts drops;
+  // Overload-ladder activity (zeros when mitigation is off).
+  int overload_max_rung = 0;
+  std::int64_t livelock_detections = 0;
+  std::int64_t ksoftirqd_defers = 0;
+  std::int64_t ksoftirqd_polls = 0;
+  // Livelock episodes in the recovery ledger (MTTR = detect -> first app
+  // progress after mitigation).
+  std::int64_t episodes = 0;
+  std::int64_t episodes_recovered = 0;
+  SimDuration mttr_p50 = 0;
+  SimDuration mttr_p99 = 0;
+  // Bounded-container audit signal.
+  std::size_t worker_active_high_water = 0;
+  /// Watchdog verdict. kLivelock with expect_livelock set is the cell
+  /// demonstrating the failure mode on purpose — see acceptable().
+  ScenarioReport report;
+  bool livelocked = false;        // report.status == kLivelock
+  bool livelock_expected = false; // copied from options
+  std::shared_ptr<TraceData> trace;
+  TraceStages stages;
+  std::shared_ptr<ProfileData> profile;
+  std::shared_ptr<MetricsData> metrics;
+  std::shared_ptr<HashSeries> hashes;
+
+  /// The cell verdict: clean, or livelocked exactly when that was the
+  /// point of the cell.
+  bool acceptable() const {
+    return report.ok() || (livelock_expected && livelocked);
+  }
+};
+
+/// Connection-storm runner (micro topology): an ApacheServer with tight
+/// finite queues under a StormClient flash crowd, supervised by a
+/// ScenarioWatchdog whose activity probe (NAPI polls + backend deliveries)
+/// separates a livelocked world from a wedged one. With mitigation armed
+/// the run also carries the livelock MTTR ledger.
+StormResult run_storm(const StormOptions& opts,
+                      const std::string& name = "storm");
 
 }  // namespace es2

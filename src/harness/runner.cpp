@@ -26,6 +26,8 @@ const char* to_string(ScenarioStatus status) {
       return "event-budget";
     case ScenarioStatus::kNoProgress:
       return "no-progress";
+    case ScenarioStatus::kLivelock:
+      return "livelock";
     case ScenarioStatus::kException:
       return "exception";
   }
@@ -36,7 +38,7 @@ ScenarioStatus scenario_status_from_string(const std::string& s) {
   for (ScenarioStatus status :
        {ScenarioStatus::kOk, ScenarioStatus::kSimTimeBudget,
         ScenarioStatus::kEventBudget, ScenarioStatus::kNoProgress,
-        ScenarioStatus::kException}) {
+        ScenarioStatus::kLivelock, ScenarioStatus::kException}) {
     if (s == to_string(status)) return status;
   }
   return ScenarioStatus::kException;
@@ -93,22 +95,38 @@ bool ScenarioWatchdog::run_for(SimDuration span,
     const std::uint64_t executed = sim_.run_until_capped(slice_end, slice_cap);
     if (progress) {
       const std::int64_t current = progress();
-      if (executed > 0 && current == last_progress_) {
+      const std::int64_t activity = activity_ ? activity_() : 0;
+      const std::int64_t delta = current - last_progress_;
+      if (executed > 0 && delta >= 0 && delta <= budget_.stall_tolerance) {
         // Events churned through a whole window yet the figure of merit
-        // did not move — count towards a stall verdict.
+        // did not move (beyond the stall tolerance) — count towards a
+        // stall verdict. The activity probe decides which kind of stall
+        // this is: if low-level work advanced in every flat window, the
+        // world is livelocked (busy doing nothing useful), not wedged.
+        if (flat_windows_ == 0) {
+          activity_in_every_flat_window_ = true;
+        }
+        if (activity_ && activity == last_activity_) {
+          activity_in_every_flat_window_ = false;
+        }
         if (++flat_windows_ >= budget_.stall_windows) {
-          trip(ScenarioStatus::kNoProgress,
-               format("progress flat at %lld for %d windows (%.3f ms)",
+          const bool livelock = activity_ && activity_in_every_flat_window_;
+          trip(livelock ? ScenarioStatus::kLivelock
+                        : ScenarioStatus::kNoProgress,
+               format("progress %s at %lld for %d windows (%.3f ms)%s",
+                      budget_.stall_tolerance > 0 ? "stalled" : "flat",
                       static_cast<long long>(current), flat_windows_,
                       static_cast<double>(flat_windows_ *
                                           budget_.progress_window) /
-                          1e6));
+                          1e6,
+                      livelock ? ", activity still climbing" : ""));
           break;
         }
       } else {
         flat_windows_ = 0;
-        last_progress_ = current;
       }
+      last_progress_ = current;
+      last_activity_ = activity;
     }
   }
   return status_ == ScenarioStatus::kOk;

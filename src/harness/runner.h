@@ -30,6 +30,14 @@ struct ScenarioBudget {
   /// Consecutive event-churning windows without progress before the
   /// scenario is declared stalled.
   int stall_windows = 8;
+  /// Per-window progress allowance that still counts as "stalled". The
+  /// default 0 keeps the strict rule (any movement resets the stall
+  /// counter); overload scenarios raise it because a livelocked server
+  /// still trickles a handful of accepts per window — receive livelock is
+  /// throughput collapse to near-zero, not bit-exact zero (Mogul &
+  /// Ramakrishnan). A window counts as stalled when progress advanced by
+  /// at most this many units.
+  std::int64_t stall_tolerance = 0;
 };
 
 enum class ScenarioStatus {
@@ -37,6 +45,7 @@ enum class ScenarioStatus {
   kSimTimeBudget,  // exceeded max_sim_time
   kEventBudget,    // exceeded max_events (livelock signature)
   kNoProgress,     // events churn but the progress probe is flat
+  kLivelock,       // progress flat while the activity probe kept climbing
   kException,      // the scenario body threw
 };
 
@@ -79,6 +88,16 @@ class ScenarioWatchdog {
 
   ScenarioWatchdog(Simulator& sim, ScenarioBudget budget);
 
+  /// Optional second probe that distinguishes a livelocked world from a
+  /// merely wedged one: a monotonic measure of low-level work (interrupt
+  /// deliveries, NAPI polls, backend packets). When a no-progress trip
+  /// fires and this figure advanced in every flat window, the status is
+  /// kLivelock — the machine was demonstrably busy, the application just
+  /// never got the CPU — instead of the generic kNoProgress.
+  void set_activity_probe(ProgressProbe probe) {
+    activity_ = std::move(probe);
+  }
+
   /// Runs the simulation for `span` (or until a budget trips). Returns
   /// true if the span completed with budgets intact.
   bool run_for(SimDuration span, const ProgressProbe& progress);
@@ -98,6 +117,9 @@ class ScenarioWatchdog {
   std::string detail_;
   std::int64_t last_progress_ = -1;
   int flat_windows_ = 0;
+  ProgressProbe activity_;
+  std::int64_t last_activity_ = 0;
+  bool activity_in_every_flat_window_ = false;
 };
 
 class MetricsRegistry;

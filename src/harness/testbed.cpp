@@ -47,6 +47,10 @@ Testbed::Testbed(TestbedOptions options) : options_(std::move(options)) {
                                                link_->a_to_b, o.vhost_params);
   link_->b_to_a.set_receiver(
       [this](PacketPtr p) { backend_->receive_from_wire(std::move(p)); });
+  // Guest-ingress link reference: rung 2 of the overload ladder pushes
+  // deterministic 1-in-N shedding onto this link. Inert until the
+  // frontend's livelock detector asks for it.
+  backend_->set_rx_link(&link_->b_to_a);
   frontend_ = std::make_unique<VirtioNetFrontend>(*guests_[0], *backend_);
   es2_->enable_for(host_->vm(0), *backend_);
   if (o.poll_mode != PollMode::kNotify) {
@@ -56,6 +60,21 @@ Testbed::Testbed(TestbedOptions options) : options_(std::move(options)) {
     worker_->set_poll_mode(o.poll_mode, o.poll_interval,
                            o.adaptive_poll_budget);
     backend_->set_poll_mode(o.poll_mode);
+  }
+
+  // The recovery ledger has two clients: lifecycle fault drills and the
+  // receive-livelock admission ladder (overload mitigation). Either one
+  // arms it; default-off runs build none, keeping the snapshot section
+  // set and instrument set byte-identical to the pre-overload era.
+  if (o.faults.lifecycle_enabled() || o.guest_params.overload_mitigation) {
+    recovery_log_ = std::make_unique<RecoveryLog>();
+    backend_->set_recovery_log(recovery_log_.get());
+  }
+  if (o.guest_params.overload_mitigation) {
+    // Overload worlds carry the ladder's link fields in their snapshots;
+    // everything else keeps the pre-overload image byte layout.
+    link_->a_to_b.arm_overload_snapshot();
+    link_->b_to_a.arm_overload_snapshot();
   }
 
   if (o.faults.enabled()) {
@@ -73,8 +92,6 @@ Testbed::Testbed(TestbedOptions options) : options_(std::move(options)) {
       });
     }
     if (o.faults.lifecycle_enabled()) {
-      recovery_log_ = std::make_unique<RecoveryLog>();
-      backend_->set_recovery_log(recovery_log_.get());
       backend_->arm_lifecycle_selfcheck();
       backend_->set_reset_listener([this] {
         if (es2_->redirector() != nullptr) {
@@ -129,21 +146,30 @@ Testbed::Testbed(TestbedOptions options) : options_(std::move(options)) {
     snapshotter_.add("es2.redirector", *es2_->redirector());
   if (faults_) snapshotter_.add("fault", *faults_);
   if (recovery_log_) {
-    // Lifecycle side-sections: the base layout of every pre-existing
-    // section is untouched; these only exist when lifecycle faults are
-    // armed.
+    // Side-sections: the base layout of every pre-existing section is
+    // untouched; these only exist when the corresponding mode (lifecycle
+    // faults, overload mitigation) is armed.
     auto side = [this](std::string name, FnSnapshottable::Fn fn) {
       lifecycle_sections_.push_back(
           std::make_unique<FnSnapshottable>(std::move(fn)));
       snapshotter_.add(std::move(name), *lifecycle_sections_.back());
     };
-    side("vhost-worker/lifecycle",
-         [this](SnapshotWriter& w) { worker_->snapshot_lifecycle_state(w); });
-    side("vhost/vm0/lifecycle",
-         [this](SnapshotWriter& w) { backend_->snapshot_lifecycle_state(w); });
-    side("guest/vm0/net.lifecycle", [this](SnapshotWriter& w) {
-      frontend_->snapshot_lifecycle_state(w);
-    });
+    if (o.faults.lifecycle_enabled()) {
+      side("vhost-worker/lifecycle", [this](SnapshotWriter& w) {
+        worker_->snapshot_lifecycle_state(w);
+      });
+      side("vhost/vm0/lifecycle", [this](SnapshotWriter& w) {
+        backend_->snapshot_lifecycle_state(w);
+      });
+      side("guest/vm0/net.lifecycle", [this](SnapshotWriter& w) {
+        frontend_->snapshot_lifecycle_state(w);
+      });
+    }
+    if (o.guest_params.overload_mitigation) {
+      side("guest/vm0/net.overload", [this](SnapshotWriter& w) {
+        frontend_->snapshot_overload_state(w);
+      });
+    }
     snapshotter_.add("recovery", *recovery_log_);
   }
 
@@ -210,12 +236,19 @@ void Testbed::register_all_metrics() {
   }
   link_->a_to_b.register_metrics(registry_, "vm_to_peer");
   link_->b_to_a.register_metrics(registry_, "peer_to_vm");
+  // Canonical drops{cause=...} family, wire rows. Always on: a drop that
+  // isn't counted somewhere is a bug, and these read zero on healthy runs.
+  link_->a_to_b.register_drop_metrics(registry_, "vm_to_peer");
+  link_->b_to_a.register_drop_metrics(registry_, "peer_to_vm");
   if (faults_) faults_->register_metrics(registry_);
-  if (recovery_log_) {
-    recovery_log_->register_metrics(registry_);
+  if (recovery_log_) recovery_log_->register_metrics(registry_);
+  if (options_.faults.lifecycle_enabled()) {
     worker_->register_lifecycle_metrics(registry_);
     backend_->register_lifecycle_metrics(registry_);
     frontend_->register_lifecycle_metrics(registry_);
+  }
+  if (options_.guest_params.overload_mitigation) {
+    frontend_->register_overload_metrics(registry_);
   }
 
   // Epoch-hash position probes. Registered only when hashing is on, so a

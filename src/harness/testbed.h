@@ -115,8 +115,9 @@ class Testbed {
   /// Null when the fault plan is empty / auditing is off.
   FaultInjector* faults() { return faults_.get(); }
   InvariantAuditor* auditor() { return auditor_.get(); }
-  /// Lifecycle-fault recovery ledger; null unless the fault plan arms a
-  /// lifecycle mode.
+  /// Recovery ledger (lifecycle fault drills and overload-mitigation
+  /// livelock episodes both report here); null unless the fault plan arms
+  /// a lifecycle mode or guest_params.overload_mitigation is set.
   RecoveryLog* recovery_log() { return recovery_log_.get(); }
   /// Null unless options.trace.enabled.
   Tracer* tracer() { return tracer_.get(); }
@@ -161,9 +162,9 @@ class Testbed {
   std::vector<std::unique_ptr<CpuBurnTask>> burn_tasks_;
   std::unique_ptr<FaultInjector> faults_;
   std::unique_ptr<RecoveryLog> recovery_log_;
-  // Adapters exposing the lifecycle-only state of worker/backend/frontend
-  // as their own snapshot sections (registered only when lifecycle faults
-  // are armed, keeping the base section layout byte-identical).
+  // Adapters exposing mode-gated state (lifecycle drill state, overload
+  // ladder state) as their own snapshot sections — registered only when
+  // the mode is armed, keeping the base section layout byte-identical.
   std::vector<std::unique_ptr<FnSnapshottable>> lifecycle_sections_;
   std::unique_ptr<InvariantAuditor> auditor_;
   std::unique_ptr<Tracer> tracer_;

@@ -21,6 +21,15 @@ SimDuration Link::serialization_delay(Bytes size) const {
 
 void Link::transmit(PacketPtr packet) {
   ES2_CHECK_MSG(receiver_ != nullptr, "link has no receiver");
+  if (backpressure_keep_ > 1 &&
+      (backpressure_seq_++ % static_cast<std::uint64_t>(backpressure_keep_)) !=
+          0) {
+    // Shed at the NIC before serialization: the whole point of pushing
+    // backpressure to the link is that a shed packet costs nothing
+    // downstream — no wire time, no vhost turn, no guest poll.
+    shed_.add(1);
+    return;
+  }
   const SimTime start = std::max(sim_.now(), line_free_at_);
   const SimTime done = start + serialization_delay(packet->wire_size);
   line_free_at_ = done;
@@ -56,6 +65,13 @@ void Link::snapshot_state(SnapshotWriter& w) const {
   w.put_i64(packets_.value());
   w.put_i64(bytes_.value());
   w.put_i64(dropped_.value());
+  // Overload-ladder fields append only when armed (overload mitigation
+  // on): default worlds keep the pre-overload byte layout.
+  if (snapshot_overload_) {
+    w.put_u32(static_cast<std::uint32_t>(backpressure_keep_));
+    w.put_u64(backpressure_seq_);
+    w.put_i64(shed_.value());
+  }
 }
 
 void Link::register_metrics(MetricsRegistry& registry,
@@ -70,6 +86,15 @@ void Link::register_metrics(MetricsRegistry& registry,
   registry.probe("net.link.dropped", labels, [this] {
     return static_cast<double>(dropped_.value());
   });
+}
+
+void Link::register_drop_metrics(MetricsRegistry& registry,
+                                 const std::string& direction) {
+  registry.probe("drops", {{"cause", "wire"}, {"link", direction}}, [this] {
+    return static_cast<double>(dropped_.value());
+  });
+  registry.probe("drops", {{"cause", "backpressure"}, {"link", direction}},
+                 [this] { return static_cast<double>(shed_.value()); });
 }
 
 }  // namespace es2

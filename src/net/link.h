@@ -36,10 +36,23 @@ class Link : public Snapshottable {
   /// serialization + propagation.
   void transmit(PacketPtr packet);
 
+  /// Ethernet-pause-style ingress admission control (the overload ladder's
+  /// RX-backpressure rung): while `keep_every` > 1 the link admits one in
+  /// `keep_every` packets and sheds the rest at the NIC, before they cost
+  /// any wire or backend time. 0/1 disables (the default: a passive link).
+  /// Deterministic by construction — a modulo counter, no RNG.
+  void set_backpressure(int keep_every) {
+    backpressure_keep_ = keep_every;
+  }
+  int backpressure_keep() const { return backpressure_keep_; }
+
   std::int64_t packets_sent() const { return packets_.value(); }
   Bytes bytes_sent() const { return bytes_.value(); }
   /// Packets lost on the wire (fault injection); a perfect link stays 0.
   std::int64_t packets_dropped() const { return dropped_.value(); }
+  /// Packets shed by ingress backpressure (overload rung 2); 0 unless the
+  /// admission ladder escalated to the link.
+  std::int64_t packets_shed() const { return shed_.value(); }
   /// Packets serialized onto the wire but not yet delivered.
   int in_flight() const { return in_flight_; }
 
@@ -47,9 +60,20 @@ class Link : public Snapshottable {
   void register_metrics(MetricsRegistry& registry,
                         const std::string& direction);
 
+  /// Registers this link's rows of the canonical `drops{cause=...}` family
+  /// (wire loss and backpressure shedding), label link=<direction>.
+  void register_drop_metrics(MetricsRegistry& registry,
+                             const std::string& direction);
+
   /// Serializes serializer occupancy (line_free_at, in-flight count) and
   /// lifetime wire counters.
   void snapshot_state(SnapshotWriter& w) const override;
+
+  /// Appends the overload-ladder fields (backpressure config/sequence,
+  /// shed count) to snapshot_state. Armed by the testbed only when
+  /// overload mitigation is on, so every pre-overload world keeps its
+  /// exact snapshot byte layout.
+  void arm_overload_snapshot() { snapshot_overload_ = true; }
 
  private:
   SimDuration serialization_delay(Bytes size) const;
@@ -61,9 +85,13 @@ class Link : public Snapshottable {
   FaultInjector* faults_ = nullptr;
   SimTime line_free_at_ = 0;  // when the serializer becomes idle
   int in_flight_ = 0;         // delivery events scheduled, not yet fired
+  int backpressure_keep_ = 0;       // admit 1-in-N while > 1 (0/1 = off)
+  std::uint64_t backpressure_seq_ = 0;
+  bool snapshot_overload_ = false;
   Counter packets_;
   Counter bytes_;
   Counter dropped_;
+  Counter shed_;
 };
 
 /// Full-duplex cable: two independent directions.

@@ -105,6 +105,7 @@ enum class LifecycleFault : std::uint8_t {
   kAvailTear,
   kHandlerWedge,
   kWorkerCrash,
+  kRxLivelock,  // overload-detected receive livelock (not injected: observed)
   kCount,
 };
 
@@ -114,6 +115,7 @@ inline const char* lifecycle_fault_name(LifecycleFault m) {
     case LifecycleFault::kAvailTear: return "avail_tear";
     case LifecycleFault::kHandlerWedge: return "handler_wedge";
     case LifecycleFault::kWorkerCrash: return "worker_crash";
+    case LifecycleFault::kRxLivelock: return "rx_livelock";
     case LifecycleFault::kCount: break;
   }
   return "?";
@@ -121,11 +123,16 @@ inline const char* lifecycle_fault_name(LifecycleFault m) {
 
 /// Recovery-ladder rungs, in escalation order. Rungs 0/1 are the PR 2
 /// watchdogs (now metered per cause); rungs 2/3 are the lifecycle resets.
+/// The last three are the overload admission-control ladder: they degrade
+/// service deliberately (clamp, shed) rather than repairing shared state.
 enum class RecoveryRung : std::uint8_t {
   kGuestWatchdog = 0,  // TX re-kick / NAPI missed-interrupt poll
   kVhostRepoll,        // backend self-check re-poll / re-activate
   kQueueReset,         // single-queue quiesce + reset + re-enable
   kDeviceReset,        // full reset + renegotiate + re-post rings
+  kNapiClamp,          // overload rung 1: NAPI budget clamp -> ksoftirqd
+  kRxBackpressure,     // overload rung 2: backend sheds at the RX link
+  kAcceptShed,         // overload rung 3: SYN-cookie-style accept shedding
   kCount,
 };
 
@@ -135,6 +142,9 @@ inline const char* recovery_rung_name(RecoveryRung r) {
     case RecoveryRung::kVhostRepoll: return "vhost_repoll";
     case RecoveryRung::kQueueReset: return "queue_reset";
     case RecoveryRung::kDeviceReset: return "device_reset";
+    case RecoveryRung::kNapiClamp: return "napi_clamp";
+    case RecoveryRung::kRxBackpressure: return "rx_backpressure";
+    case RecoveryRung::kAcceptShed: return "accept_shed";
     case RecoveryRung::kCount: break;
   }
   return "?";

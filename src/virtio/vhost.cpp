@@ -59,6 +59,7 @@ void VhostWorker::activate(VqHandler& handler) {
   if (handler.queued_) return;
   handler.queued_ = true;
   active_.push_back(&handler);
+  active_high_water_ = std::max(active_high_water_, active_.size());
 #if ES2_TRACE_ENABLED
   if (Tracer* tr = active_tracer(host_.sim())) {
     tr->emit(host_.sim().now(), TraceKind::kWorkerWake, -1, -1,
@@ -1180,10 +1181,19 @@ void VhostNetBackend::receive_from_wire(PacketPtr packet) {
   worker_.activate(rx_handler(pair));
 }
 
+void VhostNetBackend::set_rx_backpressure(bool on) {
+  rx_backpressure_ = on;
+  if (rx_link_ == nullptr) return;
+  rx_link_->set_backpressure(on ? params_.backpressure_keep : 0);
+}
+
 void VhostWorker::register_metrics(MetricsRegistry& registry) {
   MetricLabels labels = {{"worker", thread_.name()}};
   registry.probe("vhost.worker.turns", labels, [this] {
     return static_cast<double>(turns_);
+  });
+  registry.probe("vhost.worker.active_high_water", labels, [this] {
+    return static_cast<double>(active_high_water_);
   });
   registry.probe("vhost.worker.wakeups", labels, [this] {
     return static_cast<double>(wakeups_);
@@ -1216,6 +1226,11 @@ void VhostNetBackend::register_metrics(MetricsRegistry& registry) {
   registry.probe("vhost.rx.dropped", labels, [this] {
     return static_cast<double>(rx_dropped_);
   });
+  // Canonical drop family: every layer that can lose a packet exports a
+  // drops{cause=...} series so experiment rows can break collapse down by
+  // cause without knowing each layer's private counter name.
+  registry.probe("drops", {{"cause", "sock_backlog"}, {"vm", vm_.name()}},
+                 [this] { return static_cast<double>(rx_dropped_); });
   registry.probe("vhost.rx.repolls", labels, [this] {
     return static_cast<double>(rx_repolls_);
   });

@@ -147,6 +147,12 @@ class VhostWorker : public Snapshottable {
   KvmHost& host() { return host_; }
   SimThread& thread() { return thread_; }
   std::uint64_t turns() const { return turns_; }
+  /// High-water mark of the activation queue. `activate` is idempotent
+  /// (guarded by VqHandler::queued_), so the work list is bounded by the
+  /// number of distinct handlers ever attached — this figure makes that
+  /// bound observable, and the overload tests assert it stays small under
+  /// a connection storm.
+  std::size_t active_high_water() const { return active_high_water_; }
   /// Sleep->run transitions (eventfd wakeups); turns without a wakeup ran
   /// in polling mode.
   std::uint64_t wakeups() const { return wakeups_; }
@@ -198,6 +204,7 @@ class VhostWorker : public Snapshottable {
   Rng rng_;
   bool was_sleeping_ = true;
   std::deque<VqHandler*> active_;
+  std::size_t active_high_water_ = 0;
   std::uint64_t turns_ = 0;
   std::uint64_t wakeups_ = 0;
   // Busy-poll state (inert in the default kNotify mode; snapshot fields
@@ -233,6 +240,11 @@ struct VhostNetParams {
   int weight = 256;
   /// Host-side socket buffer (packets) for ingress traffic.
   int sock_buffer = 4096;
+  /// RX-backpressure shedding ratio when the guest's overload ladder
+  /// reaches rung 2: the ingress link keeps 1 in `backpressure_keep`
+  /// packets and sheds the rest before serialization. Inert until
+  /// set_rx_backpressure(true), which needs set_rx_link first.
+  int backpressure_keep = 4;
   /// When a fault injector is attached: how often the RX path re-checks
   /// for guest buffers after going to sleep waiting on a refill kick that
   /// may have been swallowed. Irrelevant (and never armed) without faults.
@@ -412,6 +424,15 @@ class VhostNetBackend : public Snapshottable {
   // --- wire-facing --------------------------------------------------------
   void receive_from_wire(PacketPtr packet);
 
+  /// Binds the ingress link feeding receive_from_wire so the guest's
+  /// overload ladder (rung 2) can push backpressure all the way to the
+  /// NIC. Null (the default) makes set_rx_backpressure a no-op.
+  void set_rx_link(Link* link) { rx_link_ = link; }
+  /// Engages/releases deterministic 1-in-N admission at the ingress link
+  /// (N = VhostNetParams::backpressure_keep).
+  void set_rx_backpressure(bool on);
+  bool rx_backpressure() const { return rx_backpressure_; }
+
   std::int64_t rx_dropped() const { return rx_dropped_; }
   /// Times the RX re-poll safety net recovered from a (presumed lost)
   /// refill kick; stays 0 without a fault injector.
@@ -487,6 +508,8 @@ class VhostNetBackend : public Snapshottable {
   Vm& vm_;
   VhostWorker& worker_;
   Link& tx_link_;
+  Link* rx_link_ = nullptr;
+  bool rx_backpressure_ = false;
   VhostNetParams params_;
   FaultInjector* faults_ = nullptr;
   EventHandle rx_repoll_;
